@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's figure and the quantitative
+// claims of its evaluation discussion as tables. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded full-scale results.
+//
+// Usage:
+//
+//	experiments [-run F1,E3,...] [-full] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	full := flag.Bool("full", false, "run at full scale (slow; the configuration recorded in EXPERIMENTS.md)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	var selected []experiments.Experiment
+	if *runFlag == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,197 @@
+// Command parsim runs any of the simulation engines on a circuit.
+//
+// Circuits come from an ISCAS-style .bench file (-bench), from the
+// embedded examples (-circuit c17|s27), or from a generator
+// (-circuit mul16, ripple32, lfsr16, counter12, dag5000, seq2000, ...).
+// Stimulus is random vectors (-vectors, -activity, -period) or a clocked
+// sequence when the circuit has a clk/CLK input.
+//
+// Examples:
+//
+//	parsim -circuit mul16 -engine timewarp -lps 8 -partition fm
+//	parsim -bench mydesign.bench -engine cmb -lps 4 -vcd out.vcd
+//	parsim -circuit c17 -engine seq -vectors 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/sim/timewarp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+func main() {
+	var (
+		benchPath  = flag.String("bench", "", "read circuit from an ISCAS .bench file")
+		circName   = flag.String("circuit", "c17", "built-in circuit: c17, s27, mulN, rippleN, claN, lfsrN, counterN, shiftN, dagN, seqN")
+		engineName = flag.String("engine", "seq", "engine: seq, oblivious, sync, cmb, cmb-demand, cmb-detect, timewarp, timewarp-lazy, hybrid")
+		lps        = flag.Int("lps", 4, "logical processes / workers")
+		partName   = flag.String("partition", "fm", "partitioner: random, contiguous, strings, cones, levels, kl, fm, anneal, multilevel")
+		presim     = flag.Bool("presim", false, "weight the partitioner with a pre-simulation profile")
+		system     = flag.Int("system", 9, "logic value system: 2, 4, or 9")
+		queueName  = flag.String("queue", "heap", "pending-event set: heap, calendar, wheel")
+		nvectors   = flag.Int("vectors", 50, "number of random vectors")
+		activity   = flag.Float64("activity", 0.5, "per-input toggle probability per vector")
+		period     = flag.Uint64("period", 40, "ticks between vectors")
+		seed       = flag.Int64("seed", 1, "stimulus and partition seed")
+		fineDelays = flag.Uint64("fine-delays", 0, "assign random delays in [1,N] to generated circuits (0 = unit)")
+		window     = flag.Uint64("window", 0, "Time Warp moving window (0 = unbounded)")
+		lazy       = flag.Bool("lazy", false, "Time Warp lazy cancellation")
+		fullCopy   = flag.Bool("full-copy", false, "Time Warp full-copy state saving")
+		vcdPath    = flag.String("vcd", "", "write the output waveform as VCD to this file")
+		quiet      = flag.Bool("q", false, "print only the summary line")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*benchPath, *circName, *fineDelays, *seed)
+	fatal(err)
+
+	stim, err := makeStimulus(c, *nvectors, *activity, circuit.Tick(*period), *seed)
+	fatal(err)
+
+	engine, err := core.ParseEngine(*engineName)
+	fatal(err)
+	method, err := partition.ParseMethod(*partName)
+	fatal(err)
+
+	var sys logic.System
+	switch *system {
+	case 2:
+		sys = logic.TwoValued
+	case 4:
+		sys = logic.FourValued
+	case 9:
+		sys = logic.NineValued
+	default:
+		fatal(fmt.Errorf("invalid -system %d", *system))
+	}
+	var queue eventq.Impl
+	switch *queueName {
+	case "heap":
+		queue = eventq.ImplHeap
+	case "calendar":
+		queue = eventq.ImplCalendar
+	case "wheel":
+		queue = eventq.ImplWheel
+	default:
+		fatal(fmt.Errorf("invalid -queue %q", *queueName))
+	}
+
+	until := core.Horizon(c, stim)
+	opts := core.Options{
+		Engine: engine, LPs: *lps, Partition: method, PartitionSeed: *seed,
+		System: sys, Queue: queue, Window: circuit.Tick(*window),
+	}
+	if *lazy {
+		opts.Cancellation = timewarp.Lazy
+	}
+	if *fullCopy {
+		opts.StateSaving = timewarp.FullCopy
+	}
+	if *presim && engine.Parallel() {
+		w, err := core.PreSimulate(c, stim, until, sys)
+		fatal(err)
+		opts.Weights = w
+	}
+
+	st := c.ComputeStats()
+	if !*quiet {
+		fmt.Printf("circuit: %d gates (%d FFs), %d inputs, %d outputs, depth %d, delays %d..%d\n",
+			st.Gates, st.FlipFlops, st.Inputs, st.Outputs, st.CombDepth, st.MinDelay, st.MaxDelay)
+		fmt.Printf("stimulus: %d vectors to t=%d, horizon t=%d\n", stim.NumVectors(), stim.End, until)
+	}
+
+	rep, err := core.Simulate(c, stim, until, opts)
+	fatal(err)
+
+	model := stats.DefaultCostModel()
+	fmt.Printf("engine=%s lps=%d modeled=%.2fms wall=%v\n",
+		engine, rep.Processors, rep.Modeled/1e6, rep.Stats.Wall.Round(10))
+	if !*quiet {
+		if engine != core.EngineSeq {
+			fmt.Printf("counters: %s\n", rep.Stats.Summary(model))
+			base, err := core.Simulate(c, stim, until, core.Options{Engine: core.EngineSeq, System: sys, Queue: queue})
+			fatal(err)
+			fmt.Printf("modeled speedup over sequential: %.2fx on %d processors\n",
+				rep.SpeedupOver(base, model), rep.Processors)
+		} else {
+			fmt.Printf("counters: evals=%d events=%d timesteps=%d\n",
+				rep.SeqWork.Evaluations, rep.SeqWork.EventsApplied, rep.SeqWork.Timesteps)
+		}
+		fmt.Printf("final outputs:")
+		for _, o := range c.Outputs {
+			fmt.Printf(" %s=%v", c.Gate(o).Name, rep.Values[o])
+		}
+		fmt.Println()
+	}
+
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		fatal(err)
+		defer f.Close()
+		fatal(trace.WriteVCD(f, c, c.Outputs, rep.Waveform, "1ns"))
+		if !*quiet {
+			fmt.Printf("wrote %d waveform samples to %s\n", len(rep.Waveform), *vcdPath)
+		}
+	}
+}
+
+// loadCircuit resolves the circuit source.
+func loadCircuit(benchPath, name string, fine uint64, seed int64) (*circuit.Circuit, error) {
+	if benchPath != "" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Read(f)
+	}
+	delays := gen.Unit
+	if fine > 0 {
+		delays = gen.Fine(circuit.Tick(fine), seed)
+	}
+	return gen.ByName(name, delays, seed)
+}
+
+// makeStimulus builds clocked stimulus when the circuit has a clock input,
+// random vectors otherwise.
+func makeStimulus(c *circuit.Circuit, vecs int, activity float64, period circuit.Tick, seed int64) (*vectors.Stimulus, error) {
+	for _, clk := range []string{"clk", "CLK", "__CLK"} {
+		if _, ok := c.ByName(clk); ok {
+			if isInput(c, clk) {
+				return vectors.Clocked(c, vectors.ClockedConfig{
+					Clock: clk, Cycles: vecs, HalfPeriod: period, Activity: activity, Seed: seed,
+				})
+			}
+		}
+	}
+	return vectors.Random(c, vectors.RandomConfig{
+		Vectors: vecs, Period: period, Activity: activity, Seed: seed,
+	})
+}
+
+func isInput(c *circuit.Circuit, name string) bool {
+	id, ok := c.ByName(name)
+	if !ok {
+		return false
+	}
+	return c.Gate(id).Kind == circuit.Input
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parsim:", err)
+		os.Exit(1)
+	}
+}

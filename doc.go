@@ -1,0 +1,11 @@
+// Package repro is a gate-level parallel logic simulation framework
+// reproducing R.D. Chamberlain, "Parallel Logic Simulation of VLSI
+// Systems", DAC 1995.
+//
+// The implementation lives under internal/: the circuit model, IEEE-1164
+// multi-valued logic, ISCAS netlist I/O, circuit generators, partitioning
+// heuristics, and six simulation engines (sequential reference, oblivious,
+// synchronous, conservative, optimistic, hybrid). The unified entry point
+// is internal/core.Simulate; runnable programs live in cmd/ and examples/.
+// See README.md, DESIGN.md, and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,65 @@
+package bench
+
+import "repro/internal/circuit"
+
+// C17 is the ISCAS-85 c17 benchmark, the canonical six-NAND example
+// circuit, embedded for tests and quickstarts.
+const C17 = `# c17 (ISCAS-85)
+# 5 inputs, 2 outputs, 6 NAND gates
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// S27 is the ISCAS-89 s27 benchmark, the smallest standard sequential
+// circuit (3 flip-flops), embedded for tests and quickstarts.
+const S27 = `# s27 (ISCAS-89)
+# 4 inputs, 1 output, 3 D-type flipflops, 2 inverters, 8 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+// MustC17 parses the embedded c17 netlist; it panics only if the embedded
+// text is corrupt, which the test suite rules out.
+func MustC17() *circuit.Circuit {
+	c, err := ReadString(C17)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustS27 parses the embedded s27 netlist.
+func MustS27() *circuit.Circuit {
+	c, err := ReadString(S27)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,54 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// FuzzRead checks the .bench reader never panics and that every accepted
+// netlist survives a write/read round trip with the same gate count.
+// The seed corpus covers the syntax variants and known edge cases; run
+// with `go test -fuzz=FuzzRead ./internal/bench` to explore further.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		bench.C17,
+		bench.S27,
+		"",
+		"# only a comment\n",
+		"INPUT(A)\nOUTPUT(Y)\nY = BUFF(A)\n",
+		"INPUT(A)\nOUTPUT(Y)\nY = DFF(A)\n",
+		"INPUT(A)\nG = NOT(A)\n#@ delay G 9\n",
+		"INPUT(A)\nY = MUX(A, A, A)\nOUTPUT(Y)\n",
+		"INPUT(\xff)\nOUTPUT(Y)\nY = BUFF(\xff)\n",
+		"INPUT(A)\nY = AND(A,,A)\nOUTPUT(Y)\n",
+		"INPUT(A)\nY=NOT(A)\nOUTPUT(Y)\n",
+		strings.Repeat("INPUT(A)\n", 3),
+		"G1 = NOT(G2)\nG2 = NOT(G1)\n", // combinational cycle
+		"INPUT(A)\n#@ delay A 99999999999999999999\n",
+		"OUTPUT(A)\nINPUT(A)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := bench.ReadString(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text, err := bench.WriteString(c, "fuzz")
+		if err != nil {
+			// Writing can only fail for unwritable gate kinds, which the
+			// reader cannot produce.
+			t.Fatalf("accepted netlist failed to write: %v", err)
+		}
+		back, err := bench.ReadString(text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, text)
+		}
+		if back.NumGates() != c.NumGates() {
+			t.Fatalf("round trip changed gate count %d -> %d", c.NumGates(), back.NumGates())
+		}
+	})
+}

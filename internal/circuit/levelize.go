@@ -1,0 +1,131 @@
+package circuit
+
+import "fmt"
+
+// Levelize partitions the non-source gates into topological levels over
+// the combinational edges of the circuit: a gate's level is one greater
+// than the maximum level of its combinational fanin, with sources (primary
+// inputs, constants) and sequential outputs at level zero.
+//
+// Level-by-level evaluation is the schedule the oblivious (compiled-mode)
+// engine uses: evaluating level k only after all of level k-1 guarantees
+// every gate sees settled inputs, which is the "properly scheduled"
+// correctness condition the paper describes for oblivious simulation.
+//
+// Sequential gates appear in the final returned level regardless of their
+// structural depth, so a full pass (all levels in order) corresponds to one
+// zero-delay evaluation cycle: combinational logic settles, then state
+// elements sample their settled inputs.
+func (c *Circuit) Levelize() ([][]GateID, error) {
+	n := len(c.Gates)
+	level := make([]int, n)
+	indeg := make([]int, n)
+	// Combinational in-degree: number of distinct fanin nets whose driver
+	// is a non-source combinational gate. Distinctness matters because the
+	// fanout lists used for decrementing are deduplicated: a gate reading
+	// the same net through two pins is only one graph edge.
+	seen := make(map[GateID]bool)
+	for id := 0; id < n; id++ {
+		g := &c.Gates[id]
+		if g.Kind.Source() {
+			continue
+		}
+		clear(seen)
+		for _, f := range g.Fanin {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			fg := &c.Gates[f]
+			if !fg.Kind.Source() && !fg.Kind.Sequential() {
+				indeg[id]++
+			}
+		}
+	}
+	// Kahn's algorithm over combinational edges.
+	queue := make([]GateID, 0, n)
+	for id := 0; id < n; id++ {
+		if !c.Gates[id].Kind.Source() && indeg[id] == 0 {
+			queue = append(queue, GateID(id))
+			level[id] = 1
+		}
+	}
+	maxLevel := 0
+	processed := 0
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		processed++
+		if level[g] > maxLevel {
+			maxLevel = level[g]
+		}
+		if c.Gates[g].Kind.Sequential() {
+			// Do not propagate through state elements.
+			continue
+		}
+		for _, out := range c.Fanout[g] {
+			if c.Gates[out].Kind.Source() {
+				continue
+			}
+			if l := level[g] + 1; l > level[out] {
+				level[out] = l
+			}
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, out)
+			}
+		}
+	}
+	want := 0
+	for id := 0; id < n; id++ {
+		if !c.Gates[id].Kind.Source() {
+			want++
+		}
+	}
+	if processed != want {
+		return nil, fmt.Errorf("circuit: levelize: combinational cycle (processed %d of %d gates)", processed, want)
+	}
+	// Pin sequential gates to a dedicated final level.
+	seqLevel := maxLevel + 1
+	hasSeq := false
+	for id := 0; id < n; id++ {
+		if c.Gates[id].Kind.Sequential() {
+			level[id] = seqLevel
+			hasSeq = true
+		}
+	}
+	if hasSeq {
+		maxLevel = seqLevel
+	}
+	levels := make([][]GateID, maxLevel)
+	for id := 0; id < n; id++ {
+		if c.Gates[id].Kind.Source() {
+			continue
+		}
+		l := level[id]
+		levels[l-1] = append(levels[l-1], GateID(id))
+	}
+	// Drop empty levels (possible when the only gates were sequential).
+	out := levels[:0]
+	for _, l := range levels {
+		if len(l) > 0 {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+// TopoOrder returns all non-source gates in a valid combinational
+// evaluation order (levels flattened). It is the schedule used by
+// compiled-code style evaluation.
+func (c *Circuit) TopoOrder() ([]GateID, error) {
+	levels, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	order := make([]GateID, 0, len(c.Gates))
+	for _, l := range levels {
+		order = append(order, l...)
+	}
+	return order, nil
+}

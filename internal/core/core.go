@@ -1,0 +1,277 @@
+// Package core is the unified front end over every simulation engine in
+// this repository: the sequential reference, the oblivious compiled-mode
+// simulator, and the synchronous, conservative, optimistic, and hybrid
+// parallel engines. One Options struct configures any of them; one Report
+// carries values, waveform, work counters, and modeled time, so callers
+// (CLIs, examples, and the experiment harness) can compare algorithms —
+// which is the whole subject of the paper.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/sim/cmb"
+	"repro/internal/sim/hybrid"
+	"repro/internal/sim/oblivious"
+	"repro/internal/sim/seq"
+	"repro/internal/sim/sync"
+	"repro/internal/sim/timewarp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Engine names a simulation algorithm.
+type Engine uint8
+
+// The available engines. The conservative and optimistic entries expose
+// their principal protocol variants directly so experiment sweeps can
+// enumerate them.
+const (
+	EngineSeq Engine = iota
+	EngineOblivious
+	EngineSync
+	EngineCMB
+	EngineCMBDemand
+	EngineCMBDetect
+	EngineTimeWarp
+	EngineTimeWarpLazy
+	EngineHybrid
+
+	numEngines
+)
+
+var engineNames = [numEngines]string{
+	"seq", "oblivious", "sync", "cmb", "cmb-demand", "cmb-detect",
+	"timewarp", "timewarp-lazy", "hybrid",
+}
+
+// String names the engine.
+func (e Engine) String() string {
+	if e < numEngines {
+		return engineNames[e]
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine converts an engine name.
+func ParseEngine(s string) (Engine, error) {
+	for e := Engine(0); e < numEngines; e++ {
+		if engineNames[e] == s {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown engine %q (have %v)", s, engineNames)
+}
+
+// Engines lists every engine, for sweeps.
+func Engines() []Engine {
+	out := make([]Engine, numEngines)
+	for i := range out {
+		out[i] = Engine(i)
+	}
+	return out
+}
+
+// Parallel reports whether the engine divides the circuit across LPs.
+func (e Engine) Parallel() bool { return e != EngineSeq && e != EngineOblivious }
+
+// Options configures a simulation run for any engine.
+type Options struct {
+	// Engine selects the algorithm.
+	Engine Engine
+	// LPs is the logical-process count for parallel engines (also the
+	// worker count for the oblivious engine). Defaults to 4.
+	LPs int
+	// Partition selects the gate-assignment heuristic.
+	Partition partition.Method
+	// PartitionSeed feeds randomized partitioners.
+	PartitionSeed int64
+	// Weights are pre-simulation load estimates for the partitioner.
+	Weights partition.Weights
+	// System is the logic value system (default 9-valued).
+	System logic.System
+	// Queue selects the pending-event set implementation.
+	Queue eventq.Impl
+	// Watch lists nets to record; nil watches primary outputs.
+	Watch []circuit.GateID
+	// MaxEvents bounds runaway simulations.
+	MaxEvents uint64
+	// Cost prices modeled times; the zero value uses the default model.
+	Cost stats.CostModel
+
+	// Cancellation, StateSaving, and Window configure the optimistic
+	// engines.
+	Cancellation timewarp.Cancellation
+	StateSaving  timewarp.StateSaving
+	Window       circuit.Tick
+	// IntraWorkers is the per-cluster synchronous worker count of the
+	// hybrid engine (default 2).
+	IntraWorkers int
+}
+
+// Report is the engine-independent outcome of a run.
+type Report struct {
+	Engine   Engine
+	Values   []logic.Value
+	Waveform trace.Waveform
+	EndTime  circuit.Tick
+	Stats    stats.RunStats
+	// Modeled is the run's modeled execution time in model nanoseconds on
+	// Processors modeled processors (see package stats for methodology).
+	Modeled    float64
+	Processors int
+	// SeqWork caches the counters needed to compute a sequential baseline
+	// time for speedups (populated for EngineSeq runs).
+	SeqWork seq.Stats
+}
+
+// SpeedupOver computes this run's modeled speedup over a sequential
+// baseline report.
+func (r *Report) SpeedupOver(baseline *Report, m stats.CostModel) float64 {
+	if m == (stats.CostModel{}) {
+		m = stats.DefaultCostModel()
+	}
+	seqTime := stats.SequentialTime(m,
+		baseline.SeqWork.Evaluations,
+		baseline.SeqWork.EventsApplied,
+		baseline.SeqWork.EventsScheduled)
+	return stats.Speedup(seqTime, r.Modeled)
+}
+
+// Simulate runs the selected engine on the circuit and stimulus.
+func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, opts Options) (*Report, error) {
+	if opts.LPs <= 0 {
+		opts.LPs = 4
+	}
+	if opts.System == 0 {
+		opts.System = logic.NineValued
+	}
+	if opts.Cost == (stats.CostModel{}) {
+		opts.Cost = stats.DefaultCostModel()
+	}
+	if opts.IntraWorkers <= 0 {
+		opts.IntraWorkers = 2
+	}
+
+	var part *partition.Partition
+	if opts.Engine.Parallel() {
+		var err error
+		part, err = partition.New(opts.Partition, c, opts.LPs, partition.Options{
+			Weights: opts.Weights,
+			Seed:    opts.PartitionSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{Engine: opts.Engine, Processors: opts.LPs}
+	switch opts.Engine {
+	case EngineSeq:
+		res, err := seq.Run(c, stim, until, seq.Config{
+			System: opts.System, Queue: opts.Queue, Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.SeqWork = res.Stats
+		rep.Processors = 1
+		rep.Modeled = stats.SequentialTime(opts.Cost,
+			res.Stats.Evaluations, res.Stats.EventsApplied, res.Stats.EventsScheduled)
+	case EngineOblivious:
+		res, err := oblivious.Run(c, stim, oblivious.Config{
+			System: opts.System, Workers: opts.LPs, Watch: opts.Watch, Cost: opts.Cost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform = res.Values, res.Waveform
+		rep.Stats = res.Stats
+		rep.Modeled = res.Stats.ModeledTime(opts.Cost)
+	case EngineSync:
+		res, err := sync.Run(c, stim, until, sync.Config{
+			Partition: part, System: opts.System, Queue: opts.Queue,
+			Watch: opts.Watch, Cost: opts.Cost, MaxEvents: opts.MaxEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+		rep.Modeled = res.Stats.ModeledTime(opts.Cost)
+	case EngineCMB, EngineCMBDemand, EngineCMBDetect:
+		mode := cmb.NullEager
+		switch opts.Engine {
+		case EngineCMBDemand:
+			mode = cmb.NullDemand
+		case EngineCMBDetect:
+			mode = cmb.DeadlockRecovery
+		}
+		res, err := cmb.Run(c, stim, until, cmb.Config{
+			Partition: part, Mode: mode, System: opts.System, Queue: opts.Queue,
+			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+		rep.Modeled = res.Stats.ModeledTime(opts.Cost)
+	case EngineTimeWarp, EngineTimeWarpLazy:
+		cancel := opts.Cancellation
+		if opts.Engine == EngineTimeWarpLazy {
+			cancel = timewarp.Lazy
+		}
+		res, err := timewarp.Run(c, stim, until, timewarp.Config{
+			Partition: part, Cancellation: cancel, StateSaving: opts.StateSaving,
+			Window: opts.Window, System: opts.System, Queue: opts.Queue,
+			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+		rep.Modeled = res.Stats.ModeledTime(opts.Cost)
+	case EngineHybrid:
+		res, err := hybrid.Run(c, stim, until, hybrid.Config{
+			Partition: part, IntraWorkers: opts.IntraWorkers,
+			Cancellation: opts.Cancellation, StateSaving: opts.StateSaving,
+			Window: opts.Window, System: opts.System, Cost: opts.Cost,
+			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+		rep.Modeled = res.ModeledTime()
+		rep.Processors = res.TotalProcessors()
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", opts.Engine)
+	}
+	return rep, nil
+}
+
+// PreSimulate runs the paper's pre-simulation workload estimation: a
+// sequential profiling run over a prefix of the stimulus, converted into
+// partitioner weights.
+func PreSimulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, sys logic.System) (partition.Weights, error) {
+	res, err := seq.Run(c, stim, until, seq.Config{System: sys, Profile: true})
+	if err != nil {
+		return nil, err
+	}
+	return partition.WeightsFromProfile(res.Stats.EvalsByGate), nil
+}
+
+// Horizon re-exports the settling-margin heuristic for callers that only
+// import core.
+func Horizon(c *circuit.Circuit, stim *vectors.Stimulus) circuit.Tick {
+	return seq.Horizon(c, stim)
+}

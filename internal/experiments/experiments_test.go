@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllListsUniqueRunnableIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+		got, ok := ByID(e.ID)
+		if !ok || got.Name != e.Name {
+			t.Fatalf("ByID(%s) broken", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Claim:  "claimed",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"== T: demo ==", "paper: claimed", "long-header", "333333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header and rows start each column at the same
+	// offset; check the second column of row 0 aligns under the header.
+	lines := strings.Split(out, "\n")
+	var headerLine, rowLine string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "a") && i+1 < len(lines) {
+			headerLine, rowLine = l, lines[i+1]
+			break
+		}
+	}
+	if strings.Index(headerLine, "long-header") != strings.Index(rowLine, "2") {
+		t.Errorf("columns misaligned:\n%s\n%s", headerLine, rowLine)
+	}
+}
+
+// TestQuickExperimentsRun exercises the cheapest experiments end to end;
+// the heavyweight ones are covered by bench_test.go and cmd/experiments.
+func TestQuickExperimentsRun(t *testing.T) {
+	for _, id := range []string{"E3", "E7", "E15"} {
+		e, _ := ByID(id)
+		tb, err := e.Run(Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		if tb.ID != id {
+			t.Fatalf("%s: table id %s", id, tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("%s: ragged row %v", id, row)
+			}
+		}
+	}
+}
+
+// TestE3CrossoverDirection pins the central claim of the activity
+// experiment: the oblivious/event-driven cost ratio falls as activity
+// rises (oblivious gets relatively better).
+func TestE3CrossoverDirection(t *testing.T) {
+	tb, err := E3Activity(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	first := parse(tb.Rows[0][len(tb.Header)-1])
+	last := parse(tb.Rows[len(tb.Rows)-1][len(tb.Header)-1])
+	if first <= last {
+		t.Fatalf("oblivious/event-driven ratio did not fall with activity: %f -> %f", first, last)
+	}
+}

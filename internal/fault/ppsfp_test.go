@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/sim/seq"
+	"repro/internal/vectors"
+)
+
+// randomPatterns draws n random input assignments.
+func randomPatterns(c *circuit.Circuit, n int, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]bool, n)
+	for k := range out {
+		out[k] = make([]bool, len(c.Inputs))
+		for i := range out[k] {
+			out[k][i] = rng.Intn(2) == 1
+		}
+	}
+	return out
+}
+
+// patternsToStimulus converts the same patterns into event-driven stimulus
+// (one vector per pattern, long settle period).
+func patternsToStimulus(c *circuit.Circuit, patterns [][]bool, period circuit.Tick) *vectors.Stimulus {
+	s := &vectors.Stimulus{End: circuit.Tick(len(patterns)-1) * period}
+	for k, pat := range patterns {
+		t := circuit.Tick(k) * period
+		for i, in := range c.Inputs {
+			s.Changes = append(s.Changes, vectors.Change{Time: t, Input: in, Value: logic.FromBool(pat[i])})
+		}
+	}
+	s.Sort()
+	// Event-driven stimulus dedups repeated values implicitly (apply only
+	// if changed), so identical consecutive assignments are harmless, but
+	// Validate rejects exact duplicates at the same (time, input); these
+	// cannot occur here.
+	return s
+}
+
+// TestPPSFPMatchesEventDrivenGrading is the central cross-check: the
+// bit-parallel grader and the event-driven strobe-based grader must agree
+// fault for fault on the same patterns.
+func TestPPSFPMatchesEventDrivenGrading(t *testing.T) {
+	c, err := gen.CLAAdder(6, gen.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := Collapse(c, Universe(c))
+	patterns := randomPatterns(c, 48, 7)
+
+	pp, err := GradeBitParallel(c, patterns, faults, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := patternsToStimulus(c, patterns, 200)
+	ev, err := Run(c, stim, seq.Horizon(c, stim), faults, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Detected != ev.Detected {
+		t.Fatalf("PPSFP detected %d, event-driven %d", pp.Detected, ev.Detected)
+	}
+	ppSet := map[Fault]bool{}
+	for _, d := range pp.Detections {
+		ppSet[d.Fault] = true
+	}
+	for _, d := range ev.Detections {
+		if !ppSet[d.Fault] {
+			t.Fatalf("fault %v detected by event-driven but not PPSFP", d.Fault)
+		}
+	}
+}
+
+func TestPPSFPC17Exhaustive(t *testing.T) {
+	c := bench.MustC17()
+	faults := Collapse(c, Universe(c))
+	// All 32 input combinations as patterns.
+	var patterns [][]bool
+	for v := 0; v < 32; v++ {
+		pat := make([]bool, len(c.Inputs))
+		for i := range pat {
+			pat[i] = v&(1<<i) != 0
+		}
+		patterns = append(patterns, pat)
+	}
+	res, err := GradeBitParallel(c, patterns, faults, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 1.0 {
+		t.Fatalf("c17 exhaustive PPSFP coverage = %.3f", res.Coverage)
+	}
+	// First-detection pattern indices must be within range and sorted.
+	last := circuit.Tick(0)
+	for _, d := range res.Detections {
+		if d.Time >= circuit.Tick(len(patterns)) {
+			t.Fatalf("detection pattern index %d out of range", d.Time)
+		}
+		if d.Time < last {
+			t.Fatal("detections not sorted by pattern")
+		}
+		last = d.Time
+	}
+}
+
+func TestPPSFPFaultDropping(t *testing.T) {
+	// With more than 64 patterns the grader runs multiple passes; coverage
+	// must be monotone in the pattern count and the result identical to a
+	// single big campaign's subset.
+	c, err := gen.ArrayMultiplier(4, gen.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := Collapse(c, Universe(c))
+	patterns := randomPatterns(c, 150, 11)
+	few, err := GradeBitParallel(c, patterns[:32], faults, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := GradeBitParallel(c, patterns, faults, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Detected < few.Detected {
+		t.Fatalf("coverage shrank with more patterns: %d -> %d", few.Detected, many.Detected)
+	}
+	// Every fault detected in the short campaign is detected (at the same
+	// first pattern) in the long one.
+	first := map[Fault]circuit.Tick{}
+	for _, d := range many.Detections {
+		first[d.Fault] = d.Time
+	}
+	for _, d := range few.Detections {
+		at, ok := first[d.Fault]
+		if !ok || at != d.Time {
+			t.Fatalf("fault %v first-detection changed: %d vs %v", d.Fault, d.Time, at)
+		}
+	}
+}
+
+func TestPPSFPRejectsSequential(t *testing.T) {
+	c, err := gen.Counter(3, gen.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GradeBitParallel(c, randomPatterns(c, 8, 1), Universe(c), 1); err == nil {
+		t.Fatal("sequential circuit accepted by PPSFP")
+	}
+}
+
+func TestPPSFPInputFault(t *testing.T) {
+	// A stuck input must be detectable and must override the pattern.
+	b := circuit.NewBuilder()
+	a := b.Input("a")
+	bb := b.Input("b")
+	x := b.Gate(Xor2, "x", a, bb)
+	b.Output("y", x)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := [][]bool{{false, false}, {true, false}, {false, true}, {true, true}}
+	res, err := GradeBitParallel(c, patterns, []Fault{{a, logic.Zero}, {a, logic.One}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected != 2 {
+		t.Fatalf("input faults detected = %d, want 2", res.Detected)
+	}
+}
+
+// Xor2 aliases the gate kind for readability in the test above.
+const Xor2 = circuit.Xor

@@ -1,0 +1,382 @@
+// Package gen builds parameterized benchmark circuits.
+//
+// The paper's closing complaint is that the logic-simulation community
+// lacks "a benchmark set … with large circuits, at varying levels of
+// abstraction, with varying timing granularity"; these generators provide
+// a controlled substitute: arithmetic datapaths (ripple and carry-lookahead
+// adders, array multipliers), sequential machines (LFSRs, counters, shift
+// registers), and random layered DAGs whose size, shape, and delay
+// distribution are all dials. Together with the ISCAS .bench reader in
+// package bench they span the size sweep Figure 1 needs.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// DelayMode selects how gate delays are assigned, reproducing the paper's
+// "timing granularity" factor.
+type DelayMode uint8
+
+// Delay assignment modes.
+const (
+	// DelayUnit gives every gate delay 1 (coarse granularity: maximum
+	// event simultaneity).
+	DelayUnit DelayMode = iota
+	// DelayRandom draws each gate's delay uniformly from [1, Max]
+	// (fine granularity: events spread thinly over time).
+	DelayRandom
+	// DelayByKind assigns fixed per-kind delays loosely modeling relative
+	// gate complexity (inverters fast, XORs slow).
+	DelayByKind
+)
+
+// DelaySpec bundles a delay mode with its parameters.
+type DelaySpec struct {
+	Mode DelayMode
+	// Max is the largest delay DelayRandom may assign; 0 means 10.
+	Max circuit.Tick
+	// Seed feeds DelayRandom.
+	Seed int64
+}
+
+// Unit is the default coarse-granularity delay spec.
+var Unit = DelaySpec{Mode: DelayUnit}
+
+// Fine returns a fine-granularity random delay spec.
+func Fine(max circuit.Tick, seed int64) DelaySpec {
+	return DelaySpec{Mode: DelayRandom, Max: max, Seed: seed}
+}
+
+// apply assigns delays to every non-source gate of a built circuit's
+// builder according to the spec.
+type delayer struct {
+	spec DelaySpec
+	rng  *rand.Rand
+}
+
+func newDelayer(spec DelaySpec) *delayer {
+	d := &delayer{spec: spec}
+	if spec.Mode == DelayRandom {
+		max := spec.Max
+		if max == 0 {
+			max = 10
+		}
+		d.spec.Max = max
+		d.rng = rand.New(rand.NewSource(spec.Seed))
+	}
+	return d
+}
+
+// next returns the delay for a new gate of the given kind.
+func (d *delayer) next(kind circuit.Kind) circuit.Tick {
+	switch d.spec.Mode {
+	case DelayRandom:
+		return 1 + circuit.Tick(d.rng.Int63n(int64(d.spec.Max)))
+	case DelayByKind:
+		switch kind {
+		case circuit.Not, circuit.Buf, circuit.Output:
+			return 1
+		case circuit.And, circuit.Or, circuit.Nand, circuit.Nor:
+			return 2
+		case circuit.Xor, circuit.Xnor, circuit.Mux2:
+			return 3
+		case circuit.DFF, circuit.DLatch:
+			return 2
+		default:
+			return 1
+		}
+	default:
+		return 1
+	}
+}
+
+// genBuilder wraps circuit.Builder with delay assignment and name
+// generation helpers shared by the generators.
+type genBuilder struct {
+	*circuit.Builder
+	d *delayer
+	n int
+}
+
+func newGenBuilder(spec DelaySpec) *genBuilder {
+	return &genBuilder{Builder: circuit.NewBuilder(), d: newDelayer(spec)}
+}
+
+// gate adds a gate with a spec-assigned delay.
+func (b *genBuilder) gate(kind circuit.Kind, name string, fanin ...circuit.GateID) circuit.GateID {
+	return b.GateDelay(kind, name, b.d.next(kind), fanin...)
+}
+
+// fresh generates a unique internal gate name with the given prefix.
+func (b *genBuilder) fresh(prefix string) string {
+	b.n++
+	return fmt.Sprintf("%s_%d", prefix, b.n)
+}
+
+// fullAdder wires a 1-bit full adder and returns (sum, carry).
+func (b *genBuilder) fullAdder(tag string, a, c, cin circuit.GateID) (sum, cout circuit.GateID) {
+	axb := b.gate(circuit.Xor, tag+"_axb", a, c)
+	sum = b.gate(circuit.Xor, tag+"_sum", axb, cin)
+	and1 := b.gate(circuit.And, tag+"_and1", a, c)
+	and2 := b.gate(circuit.And, tag+"_and2", axb, cin)
+	cout = b.gate(circuit.Or, tag+"_cout", and1, and2)
+	return sum, cout
+}
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a0..a(n-1),
+// b0..b(n-1), cin; outputs s0..s(n-1), cout. Roughly 5n gates with a long
+// carry chain — the classic deep, low-parallelism datapath.
+func RippleAdder(bits int, spec DelaySpec) (*circuit.Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("gen: RippleAdder: bits must be >= 1")
+	}
+	b := newGenBuilder(spec)
+	as := make([]circuit.GateID, bits)
+	bs := make([]circuit.GateID, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < bits; i++ {
+		var sum circuit.GateID
+		sum, carry = b.fullAdder(fmt.Sprintf("fa%d", i), as[i], bs[i], carry)
+		b.Output(fmt.Sprintf("s%d", i), sum)
+	}
+	b.Output("cout", carry)
+	return b.Build()
+}
+
+// CLAAdder builds an n-bit carry-lookahead adder using 4-bit lookahead
+// blocks chained at the block level. Wider and shallower than the ripple
+// adder: the same function with a very different structure, which is
+// exactly the "circuit structure" performance factor the paper calls out.
+func CLAAdder(bits int, spec DelaySpec) (*circuit.Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("gen: CLAAdder: bits must be >= 1")
+	}
+	b := newGenBuilder(spec)
+	as := make([]circuit.GateID, bits)
+	bs := make([]circuit.GateID, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	blockCarry := b.Input("cin")
+	for lo := 0; lo < bits; lo += 4 {
+		hi := lo + 4
+		if hi > bits {
+			hi = bits
+		}
+		n := hi - lo
+		g := make([]circuit.GateID, n) // generate
+		p := make([]circuit.GateID, n) // propagate
+		for i := 0; i < n; i++ {
+			tag := fmt.Sprintf("cla%d", lo+i)
+			g[i] = b.gate(circuit.And, tag+"_g", as[lo+i], bs[lo+i])
+			p[i] = b.gate(circuit.Xor, tag+"_p", as[lo+i], bs[lo+i])
+		}
+		// c[i+1] = g[i] | p[i]&g[i-1] | ... | p[i]&...&p[0]&cin
+		carries := make([]circuit.GateID, n+1)
+		carries[0] = blockCarry
+		for i := 0; i < n; i++ {
+			tag := fmt.Sprintf("cla%d_c", lo+i)
+			terms := []circuit.GateID{g[i]}
+			for j := i; j >= 0; j-- {
+				// p[i] & p[i-1] & ... & p[j] & (g[j-1] or cin)
+				var ins []circuit.GateID
+				for k := j; k <= i; k++ {
+					ins = append(ins, p[k])
+				}
+				if j == 0 {
+					ins = append(ins, blockCarry)
+				} else {
+					ins = append(ins, g[j-1])
+				}
+				terms = append(terms, b.gate(circuit.And, b.fresh(tag+"_t"), ins...))
+			}
+			carries[i+1] = b.gate(circuit.Or, tag, terms...)
+		}
+		for i := 0; i < n; i++ {
+			sum := b.gate(circuit.Xor, fmt.Sprintf("cla%d_s", lo+i), p[i], carries[i])
+			b.Output(fmt.Sprintf("s%d", lo+i), sum)
+		}
+		blockCarry = carries[n]
+	}
+	b.Output("cout", blockCarry)
+	return b.Build()
+}
+
+// ArrayMultiplier builds an n x n unsigned array multiplier: inputs
+// a0..a(n-1) and b0..b(n-1), outputs p0..p(2n-1). About 6n^2 gates, the
+// workhorse of the Figure 1 size sweep.
+func ArrayMultiplier(bits int, spec DelaySpec) (*circuit.Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("gen: ArrayMultiplier: bits must be >= 1")
+	}
+	b := newGenBuilder(spec)
+	as := make([]circuit.GateID, bits)
+	bs := make([]circuit.GateID, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[i][j] = a[j] & b[i], weight i+j.
+	pp := make([][]circuit.GateID, bits)
+	for i := 0; i < bits; i++ {
+		pp[i] = make([]circuit.GateID, bits)
+		for j := 0; j < bits; j++ {
+			pp[i][j] = b.gate(circuit.And, fmt.Sprintf("pp%d_%d", i, j), as[j], bs[i])
+		}
+	}
+	// Row-by-row shift-add reduction. Before row i, acc holds the running
+	// sum bits of weights i .. i+len(acc)-1; row i adds pp[i] (weights
+	// i .. i+bits-1), the weight-i bit becomes final output p_i, and the
+	// rest (plus the row carry) becomes the next accumulator.
+	b.Output("p0", pp[0][0])
+	acc := pp[0][1:]
+	for i := 1; i < bits; i++ {
+		next := make([]circuit.GateID, 0, bits+1)
+		carry := circuit.GateID(-1)
+		for j := 0; j < bits; j++ {
+			tag := fmt.Sprintf("m%d_%d", i, j)
+			a := pp[i][j]
+			bbit := circuit.GateID(-1)
+			if j < len(acc) {
+				bbit = acc[j]
+			}
+			switch {
+			case bbit >= 0 && carry >= 0:
+				var s circuit.GateID
+				s, carry = b.fullAdder(tag, a, bbit, carry)
+				next = append(next, s)
+			case bbit >= 0:
+				s := b.gate(circuit.Xor, tag+"_s", a, bbit)
+				carry = b.gate(circuit.And, tag+"_c", a, bbit)
+				next = append(next, s)
+			case carry >= 0:
+				s := b.gate(circuit.Xor, tag+"_s", a, carry)
+				carry = b.gate(circuit.And, tag+"_c", a, carry)
+				next = append(next, s)
+			default:
+				next = append(next, a)
+			}
+		}
+		if carry >= 0 {
+			next = append(next, carry)
+		}
+		b.Output(fmt.Sprintf("p%d", i), next[0])
+		acc = next[1:]
+	}
+	// Remaining accumulator bits are the top product bits p_bits..p_{2n-1}.
+	for j := 0; j < len(acc); j++ {
+		b.Output(fmt.Sprintf("p%d", bits+j), acc[j])
+	}
+	// A 1-bit multiplier has no accumulator left; pad the top bit with 0.
+	for j := len(acc); j < bits; j++ {
+		g := b.Const(b.fresh("zero"), logic.Zero)
+		b.Output(fmt.Sprintf("p%d", bits+j), g)
+	}
+	return b.Build()
+}
+
+// LFSR builds an n-bit Fibonacci linear feedback shift register with the
+// given tap positions (bit indices XORed into the feedback; if empty, taps
+// default to {0, n-1}). Inputs: clk, rst (synchronous reset loads 1 into
+// bit 0). Outputs: q0..q(n-1). A maximal-activity sequential workload.
+func LFSR(bits int, taps []int, spec DelaySpec) (*circuit.Circuit, error) {
+	if bits < 2 {
+		return nil, fmt.Errorf("gen: LFSR: bits must be >= 2")
+	}
+	if len(taps) == 0 {
+		taps = []int{0, bits - 1}
+	}
+	for _, t := range taps {
+		if t < 0 || t >= bits {
+			return nil, fmt.Errorf("gen: LFSR: tap %d out of range", t)
+		}
+	}
+	b := newGenBuilder(spec)
+	clk := b.Input("clk")
+	rst := b.Input("rst")
+	// Declare the flip-flops first (they form the feedback loop), then wire
+	// fanins. The builder allows patching fanin before Build.
+	ffs := make([]circuit.GateID, bits)
+	for i := 0; i < bits; i++ {
+		ffs[i] = b.gate(circuit.DFF, fmt.Sprintf("q%d", i), clk, clk) // placeholder fanin
+	}
+	// Feedback = XOR of taps.
+	tapIDs := make([]circuit.GateID, len(taps))
+	for i, t := range taps {
+		tapIDs[i] = ffs[t]
+	}
+	fb := b.gate(circuit.Xor, "fb", tapIDs...)
+	nrst := b.gate(circuit.Not, "nrst", rst)
+	// d0 = (fb & !rst) | rst  -> loads 1 on reset.
+	d0a := b.gate(circuit.And, "d0_and", fb, nrst)
+	d0 := b.gate(circuit.Or, "d0", d0a, rst)
+	b.SetFanin(ffs[0], []circuit.GateID{d0, clk})
+	for i := 1; i < bits; i++ {
+		// di = q(i-1) & !rst (reset clears the rest of the register).
+		di := b.gate(circuit.And, fmt.Sprintf("d%d", i), ffs[i-1], nrst)
+		b.SetFanin(ffs[i], []circuit.GateID{di, clk})
+	}
+	for i := 0; i < bits; i++ {
+		b.Output(fmt.Sprintf("out%d", i), ffs[i])
+	}
+	return b.Build()
+}
+
+// Counter builds an n-bit synchronous binary counter with enable. Inputs:
+// clk, en. Outputs: q0..q(n-1). Activity decays geometrically with bit
+// position, making it a natural low-activity sequential workload.
+func Counter(bits int, spec DelaySpec) (*circuit.Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("gen: Counter: bits must be >= 1")
+	}
+	b := newGenBuilder(spec)
+	clk := b.Input("clk")
+	en := b.Input("en")
+	ffs := make([]circuit.GateID, bits)
+	for i := 0; i < bits; i++ {
+		ffs[i] = b.gate(circuit.DFF, fmt.Sprintf("q%d", i), clk, clk) // placeholder
+	}
+	carry := en
+	for i := 0; i < bits; i++ {
+		d := b.gate(circuit.Xor, fmt.Sprintf("d%d", i), ffs[i], carry)
+		b.SetFanin(ffs[i], []circuit.GateID{d, clk})
+		if i+1 < bits {
+			carry = b.gate(circuit.And, fmt.Sprintf("c%d", i), carry, ffs[i])
+		}
+		b.Output(fmt.Sprintf("out%d", i), ffs[i])
+	}
+	return b.Build()
+}
+
+// ShiftRegister builds an n-stage shift register: inputs clk, d; outputs
+// q(n-1) (and optionally all stages). The minimal sequential pipeline.
+func ShiftRegister(stages int, spec DelaySpec) (*circuit.Circuit, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("gen: ShiftRegister: stages must be >= 1")
+	}
+	b := newGenBuilder(spec)
+	clk := b.Input("clk")
+	d := b.Input("d")
+	prev := d
+	for i := 0; i < stages; i++ {
+		prev = b.gate(circuit.DFF, fmt.Sprintf("q%d", i), prev, clk)
+	}
+	b.Output("out", prev)
+	return b.Build()
+}

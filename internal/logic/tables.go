@@ -1,0 +1,71 @@
+package logic
+
+// The lookup tables below are transcriptions of the IEEE 1164
+// STD_LOGIC_1164 package body. Rows are the first operand, columns the
+// second, both in the order U X 0 1 Z W L H -.
+
+var andTable = [NumValues][NumValues]Value{
+	//        U     X     0     1     Z     W     L     H     -
+	U:        {U, U, Zero, U, U, U, Zero, U, U},
+	X:        {U, X, Zero, X, X, X, Zero, X, X},
+	Zero:     {Zero, Zero, Zero, Zero, Zero, Zero, Zero, Zero, Zero},
+	One:      {U, X, Zero, One, X, X, Zero, One, X},
+	Z:        {U, X, Zero, X, X, X, Zero, X, X},
+	W:        {U, X, Zero, X, X, X, Zero, X, X},
+	L:        {Zero, Zero, Zero, Zero, Zero, Zero, Zero, Zero, Zero},
+	H:        {U, X, Zero, One, X, X, Zero, One, X},
+	DontCare: {U, X, Zero, X, X, X, Zero, X, X},
+}
+
+var orTable = [NumValues][NumValues]Value{
+	//        U     X     0     1     Z     W     L     H     -
+	U:        {U, U, U, One, U, U, U, One, U},
+	X:        {U, X, X, One, X, X, X, One, X},
+	Zero:     {U, X, Zero, One, X, X, Zero, One, X},
+	One:      {One, One, One, One, One, One, One, One, One},
+	Z:        {U, X, X, One, X, X, X, One, X},
+	W:        {U, X, X, One, X, X, X, One, X},
+	L:        {U, X, Zero, One, X, X, Zero, One, X},
+	H:        {One, One, One, One, One, One, One, One, One},
+	DontCare: {U, X, X, One, X, X, X, One, X},
+}
+
+var xorTable = [NumValues][NumValues]Value{
+	//        U     X     0     1     Z     W     L     H     -
+	U:        {U, U, U, U, U, U, U, U, U},
+	X:        {U, X, X, X, X, X, X, X, X},
+	Zero:     {U, X, Zero, One, X, X, Zero, One, X},
+	One:      {U, X, One, Zero, X, X, One, Zero, X},
+	Z:        {U, X, X, X, X, X, X, X, X},
+	W:        {U, X, X, X, X, X, X, X, X},
+	L:        {U, X, Zero, One, X, X, Zero, One, X},
+	H:        {U, X, One, Zero, X, X, One, Zero, X},
+	DontCare: {U, X, X, X, X, X, X, X, X},
+}
+
+var notTable = [NumValues]Value{
+	U:        U,
+	X:        X,
+	Zero:     One,
+	One:      Zero,
+	Z:        X,
+	W:        X,
+	L:        One,
+	H:        Zero,
+	DontCare: X,
+}
+
+// resolutionTable is the STD_LOGIC resolution function: the value of a net
+// driven simultaneously by both operands.
+var resolutionTable = [NumValues][NumValues]Value{
+	//        U  X  0     1    Z  W  L  H  -
+	U:        {U, U, U, U, U, U, U, U, U},
+	X:        {U, X, X, X, X, X, X, X, X},
+	Zero:     {U, X, Zero, X, Zero, Zero, Zero, Zero, X},
+	One:      {U, X, X, One, One, One, One, One, X},
+	Z:        {U, X, Zero, One, Z, W, L, H, X},
+	W:        {U, X, Zero, One, W, W, W, W, X},
+	L:        {U, X, Zero, One, L, W, L, W, X},
+	H:        {U, X, Zero, One, H, W, W, H, X},
+	DontCare: {U, X, X, X, X, X, X, X, X},
+}

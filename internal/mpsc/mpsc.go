@@ -1,0 +1,105 @@
+// Package mpsc provides an unbounded multi-producer single-consumer
+// mailbox with blocking receive.
+//
+// The asynchronous engines (conservative and optimistic) use one mailbox
+// per logical process as the message transport. Unboundedness is a
+// correctness requirement, not a convenience: the blocking behaviour of
+// conservative simulation must come from the protocol's input waiting rule,
+// and rollback behaviour in Time Warp from timestamp comparison — never
+// from transport back-pressure, which would introduce deadlocks that are
+// artifacts of buffer sizing rather than of the algorithms under study.
+package mpsc
+
+import "sync"
+
+// Mailbox is an unbounded MPSC queue. The zero value is not usable; call
+// New. Multiple goroutines may Put concurrently; exactly one goroutine
+// should drain.
+type Mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+	pokes  int
+}
+
+// New returns an empty mailbox.
+func New[T any]() *Mailbox[T] {
+	m := &Mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues one item.
+func (m *Mailbox[T]) Put(v T) {
+	m.mu.Lock()
+	m.items = append(m.items, v)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// PutAll enqueues a batch.
+func (m *Mailbox[T]) PutAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.items = append(m.items, vs...)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// TryDrain appends all currently queued items to buf and returns it
+// without blocking.
+func (m *Mailbox[T]) TryDrain(buf []T) []T {
+	m.mu.Lock()
+	buf = append(buf, m.items...)
+	m.items = m.items[:0]
+	m.mu.Unlock()
+	return buf
+}
+
+// WaitDrain blocks until at least one item is available, a Poke arrives,
+// or the mailbox is closed; it then appends any queued items to buf. The
+// second result is false once the mailbox is closed and empty.
+func (m *Mailbox[T]) WaitDrain(buf []T) ([]T, bool) {
+	m.mu.Lock()
+	for len(m.items) == 0 && m.pokes == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if m.pokes > 0 {
+		m.pokes = 0
+	}
+	ok := !(m.closed && len(m.items) == 0)
+	buf = append(buf, m.items...)
+	m.items = m.items[:0]
+	m.mu.Unlock()
+	return buf, ok
+}
+
+// Poke wakes a blocked receiver without delivering an item, so it can
+// notice out-of-band state such as a pause flag. Pokes are sticky: a poke
+// sent while the receiver is not waiting is consumed by its next WaitDrain.
+func (m *Mailbox[T]) Poke() {
+	m.mu.Lock()
+	m.pokes++
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// Close wakes any blocked receiver and makes future WaitDrain calls return
+// false once drained. Items already queued are still delivered.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Len reports the current queue length (racy by nature; for tests and
+// stats only).
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}

@@ -1,0 +1,145 @@
+package mpsc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutDrainOrder(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 10; i++ {
+		m.Put(i)
+	}
+	got := m.TryDrain(nil)
+	if len(got) != 10 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestPutAll(t *testing.T) {
+	m := New[string]()
+	m.PutAll([]string{"a", "b"})
+	m.PutAll(nil) // no-op
+	got := m.TryDrain(nil)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWaitDrainBlocksUntilPut(t *testing.T) {
+	m := New[int]()
+	done := make(chan []int)
+	go func() {
+		buf, ok := m.WaitDrain(nil)
+		if !ok {
+			t.Error("WaitDrain returned !ok")
+		}
+		done <- buf
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Put(7)
+	select {
+	case got := <-done:
+		if len(got) != 1 || got[0] != 7 {
+			t.Fatalf("got %v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitDrain never woke")
+	}
+}
+
+func TestPokeWakesWithoutItem(t *testing.T) {
+	m := New[int]()
+	done := make(chan int)
+	go func() {
+		buf, ok := m.WaitDrain(nil)
+		if !ok {
+			t.Error("closed?")
+		}
+		done <- len(buf)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Poke()
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Fatalf("poke delivered %d items", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("poke did not wake")
+	}
+}
+
+func TestPokeIsSticky(t *testing.T) {
+	m := New[int]()
+	m.Poke() // receiver not waiting yet
+	buf, ok := m.WaitDrain(nil)
+	if !ok || len(buf) != 0 {
+		t.Fatalf("sticky poke broken: ok=%v n=%d", ok, len(buf))
+	}
+}
+
+func TestCloseDeliversQueuedThenFalse(t *testing.T) {
+	m := New[int]()
+	m.Put(1)
+	m.Close()
+	buf, ok := m.WaitDrain(nil)
+	if !ok || len(buf) != 1 {
+		t.Fatalf("first drain after close: ok=%v n=%d", ok, len(buf))
+	}
+	buf, ok = m.WaitDrain(buf[:0])
+	if ok || len(buf) != 0 {
+		t.Fatalf("second drain after close: ok=%v n=%d", ok, len(buf))
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	m := New[int]()
+	const producers = 8
+	const perProducer = 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				m.Put(p*perProducer + i)
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*perProducer)
+	lastPer := make([]int, producers)
+	for i := range lastPer {
+		lastPer[i] = -1
+	}
+	var buf []int
+	for len(seen) < producers*perProducer {
+		var ok bool
+		buf, ok = m.WaitDrain(buf[:0])
+		if !ok {
+			t.Fatal("closed unexpectedly")
+		}
+		for _, v := range buf {
+			if seen[v] {
+				t.Fatalf("duplicate %d", v)
+			}
+			seen[v] = true
+			// Per-producer FIFO must hold.
+			p, i := v/perProducer, v%perProducer
+			if i <= lastPer[p] {
+				t.Fatalf("producer %d out of order: %d after %d", p, i, lastPer[p])
+			}
+			lastPer[p] = i
+		}
+	}
+	wg.Wait()
+}

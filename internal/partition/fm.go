@@ -1,0 +1,320 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// FM implements Fiduccia–Mattheyses min-cut partitioning, the linear-time
+// hypergraph refinement heuristic the paper reports has been "used
+// extensively for logic partitioning with good results". k-way partitions
+// come from recursive bisection; each bisection runs FM passes (single-cell
+// moves chosen by gain under a balance constraint, best-prefix commit)
+// until a pass yields no improvement.
+func FM(c *circuit.Circuit, k int, w Weights, seed int64) *Partition {
+	return recursiveBisect(c, k, w, seed, fmBisect)
+}
+
+// bisector improves an initial balanced 2-way split of the given vertices.
+// side[i] is 0 or 1 per local vertex; targetA is side 0's target weight
+// share of the subset total.
+type bisector func(g *localGraph, side []uint8, targetA float64, rng *rand.Rand)
+
+// recursiveBisect builds a k-way partition by recursively splitting the
+// vertex set with the given 2-way refiner.
+func recursiveBisect(c *circuit.Circuit, k int, w Weights, seed int64, refine bisector) *Partition {
+	p := &Partition{Blocks: k, Assign: make([]int, c.NumGates())}
+	rng := rand.New(rand.NewSource(seed))
+
+	var rec func(verts []circuit.GateID, firstBlock, numBlocks int)
+	rec = func(verts []circuit.GateID, firstBlock, numBlocks int) {
+		if numBlocks == 1 || len(verts) == 0 {
+			for _, v := range verts {
+				p.Assign[v] = firstBlock
+			}
+			return
+		}
+		blocksA := numBlocks / 2
+		blocksB := numBlocks - blocksA
+		targetA := float64(blocksA) / float64(numBlocks)
+
+		g := newLocalGraph(c, verts, w)
+		side := initialSplit(g, targetA, rng)
+		refine(g, side, targetA, rng)
+
+		var aVerts, bVerts []circuit.GateID
+		for i, v := range verts {
+			if side[i] == 0 {
+				aVerts = append(aVerts, v)
+			} else {
+				bVerts = append(bVerts, v)
+			}
+		}
+		rec(aVerts, firstBlock, blocksA)
+		rec(bVerts, firstBlock+blocksA, blocksB)
+	}
+	all := make([]circuit.GateID, c.NumGates())
+	for i := range all {
+		all[i] = circuit.GateID(i)
+	}
+	rec(all, 0, k)
+	return p
+}
+
+// localGraph is the hypergraph induced on a vertex subset: one net per
+// driver with at least one consumer inside the subset.
+type localGraph struct {
+	verts  []circuit.GateID
+	index  map[circuit.GateID]int // global -> local
+	w      []float64
+	total  float64
+	maxW   float64
+	nets   [][]int // net -> local cells (driver first)
+	netsOf [][]int // local cell -> nets touching it
+}
+
+func newLocalGraph(c *circuit.Circuit, verts []circuit.GateID, w Weights) *localGraph {
+	g := &localGraph{
+		verts: verts,
+		index: make(map[circuit.GateID]int, len(verts)),
+		w:     make([]float64, len(verts)),
+	}
+	for i, v := range verts {
+		g.index[v] = i
+		g.w[i] = w[v]
+		g.total += w[v]
+		if w[v] > g.maxW {
+			g.maxW = w[v]
+		}
+	}
+	g.netsOf = make([][]int, len(verts))
+	for i, v := range verts {
+		cells := []int{i}
+		seen := map[int]bool{i: true}
+		for _, dst := range c.Fanout[v] {
+			if j, ok := g.index[dst]; ok && !seen[j] {
+				seen[j] = true
+				cells = append(cells, j)
+			}
+		}
+		if len(cells) < 2 {
+			continue
+		}
+		netID := len(g.nets)
+		g.nets = append(g.nets, cells)
+		for _, cell := range cells {
+			g.netsOf[cell] = append(g.netsOf[cell], netID)
+		}
+	}
+	return g
+}
+
+// initialSplit produces a weight-balanced random split with side-0 share
+// close to targetA.
+func initialSplit(g *localGraph, targetA float64, rng *rand.Rand) []uint8 {
+	order := rng.Perm(len(g.verts))
+	side := make([]uint8, len(g.verts))
+	wantA := targetA * g.total
+	var accA float64
+	for _, i := range order {
+		if accA < wantA {
+			side[i] = 0
+			accA += g.w[i]
+		} else {
+			side[i] = 1
+		}
+	}
+	return side
+}
+
+// cutOf counts nets spanning both sides.
+func (g *localGraph) cutOf(side []uint8) int {
+	cut := 0
+	for _, cells := range g.nets {
+		s0 := side[cells[0]]
+		for _, cell := range cells[1:] {
+			if side[cell] != s0 {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// gainItem is a heap entry; stale entries are skipped on pop.
+type gainItem struct {
+	gain int
+	cell int
+	ver  int
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int           { return len(h) }
+func (h gainHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)        { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// fmBisect runs FM passes until a pass yields no cut improvement.
+func fmBisect(g *localGraph, side []uint8, targetA float64, rng *rand.Rand) {
+	if len(g.nets) == 0 {
+		return
+	}
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		if fmPass(g, side, targetA) <= 0 {
+			return
+		}
+	}
+}
+
+// fmPass performs one full FM pass and returns the committed cut gain.
+func fmPass(g *localGraph, side []uint8, targetA float64) int {
+	n := len(g.verts)
+	// Per-net side populations.
+	cnt := make([][2]int, len(g.nets))
+	for netID, cells := range g.nets {
+		for _, cell := range cells {
+			cnt[netID][side[cell]]++
+		}
+	}
+	// Initial gains: FS(v) - TE(v): nets where v is alone on its side
+	// minus nets entirely on v's side.
+	gain := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, netID := range g.netsOf[v] {
+			s := side[v]
+			if cnt[netID][s] == 1 {
+				gain[v]++
+			}
+			if cnt[netID][1-s] == 0 {
+				gain[v]--
+			}
+		}
+	}
+	ver := make([]int, n)
+	locked := make([]bool, n)
+	h := make(gainHeap, 0, n)
+	for v := 0; v < n; v++ {
+		h = append(h, gainItem{gain[v], v, 0})
+	}
+	heap.Init(&h)
+
+	bump := func(v, delta int) {
+		if locked[v] {
+			return
+		}
+		gain[v] += delta
+		ver[v]++
+		heap.Push(&h, gainItem{gain[v], v, ver[v]})
+	}
+
+	// Balance bounds: each side's weight must stay within one max-cell
+	// weight (plus 2% slack) of its target.
+	wantA := targetA * g.total
+	slack := g.maxW + 0.02*g.total
+	var wA float64
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			wA += g.w[v]
+		}
+	}
+
+	type move struct {
+		cell int
+		gain int
+	}
+	var moves []move
+	cum, bestCum, bestIdx := 0, 0, -1
+
+	for moved := 0; moved < n; moved++ {
+		// Pop the best movable cell.
+		var v int
+		found := false
+		for h.Len() > 0 {
+			it := heap.Pop(&h).(gainItem)
+			if locked[it.cell] || it.ver != ver[it.cell] {
+				continue
+			}
+			// Balance check for moving it.cell off its side.
+			var newWA float64
+			if side[it.cell] == 0 {
+				newWA = wA - g.w[it.cell]
+			} else {
+				newWA = wA + g.w[it.cell]
+			}
+			if newWA < wantA-slack || newWA > wantA+slack {
+				// Not movable now; re-queue it with a stale marker so it
+				// can come back later (after other moves change balance).
+				// To avoid infinite loops, just lock it out of this pass.
+				locked[it.cell] = true
+				continue
+			}
+			v = it.cell
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+		from := side[v]
+		to := 1 - from
+		locked[v] = true
+		cum += gain[v]
+		moves = append(moves, move{v, gain[v]})
+
+		// Standard FM gain updates around the move.
+		for _, netID := range g.netsOf[v] {
+			cells := g.nets[netID]
+			// Before the move.
+			if cnt[netID][to] == 0 {
+				for _, c2 := range cells {
+					bump(c2, +1)
+				}
+			} else if cnt[netID][to] == 1 {
+				for _, c2 := range cells {
+					if side[c2] == to {
+						bump(c2, -1)
+					}
+				}
+			}
+			cnt[netID][from]--
+			cnt[netID][to]++
+			side[v] = to // ensure the "after" scan sees the new side
+			// After the move.
+			if cnt[netID][from] == 0 {
+				for _, c2 := range cells {
+					bump(c2, -1)
+				}
+			} else if cnt[netID][from] == 1 {
+				for _, c2 := range cells {
+					if side[c2] == from {
+						bump(c2, +1)
+					}
+				}
+			}
+			side[v] = from // restore until all nets processed
+		}
+		side[v] = to
+		if from == 0 {
+			wA -= g.w[v]
+		} else {
+			wA += g.w[v]
+		}
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(moves) - 1
+		}
+	}
+
+	// Roll back moves after the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		v := moves[i].cell
+		side[v] = 1 - side[v]
+	}
+	return bestCum
+}

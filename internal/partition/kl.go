@@ -1,0 +1,178 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// KL implements Kernighan–Lin min-cut partitioning: pairwise swaps between
+// the two sides, committed as the best-gain prefix of a pass. It is the
+// historical ancestor of FM the paper cites; k-way partitions come from the
+// same recursive bisection scaffold. Pair selection uses the standard
+// practical refinement of examining the top-D candidates from each side
+// rather than all O(n^2) pairs.
+func KL(c *circuit.Circuit, k int, w Weights, seed int64) *Partition {
+	return recursiveBisect(c, k, w, seed, klBisect)
+}
+
+// edge is one endpoint of the KL adjacency structure.
+type edge struct {
+	to int
+	w  int
+}
+
+// klBisect runs KL passes until no improvement.
+func klBisect(g *localGraph, side []uint8, targetA float64, rng *rand.Rand) {
+	n := len(g.verts)
+	if n < 2 || len(g.nets) == 0 {
+		return
+	}
+	// Edge graph: driver-consumer edges from each net, duplicate edges
+	// merged by weight.
+	adjMap := make([]map[int]int, n)
+	addEdge := func(a, b int) {
+		if adjMap[a] == nil {
+			adjMap[a] = make(map[int]int)
+		}
+		adjMap[a][b]++
+	}
+	for _, cells := range g.nets {
+		drv := cells[0]
+		for _, dst := range cells[1:] {
+			addEdge(drv, dst)
+			addEdge(dst, drv)
+		}
+	}
+	adj := make([][]edge, n)
+	for v, m := range adjMap {
+		for to, wt := range m {
+			adj[v] = append(adj[v], edge{to, wt})
+		}
+	}
+
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		if klPass(g, side, adj) <= 0 {
+			return
+		}
+	}
+}
+
+// klPass performs one KL pass (a sequence of tentative best swaps, then
+// commits the best prefix) and returns the committed gain.
+func klPass(g *localGraph, side []uint8, adj [][]edge) int {
+	n := len(g.verts)
+	// D[v] = external cost - internal cost.
+	d := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, e := range adj[v] {
+			if side[e.to] != side[v] {
+				d[v] += e.w
+			} else {
+				d[v] -= e.w
+			}
+		}
+	}
+	ver := make([]int, n)
+	locked := make([]bool, n)
+	heaps := [2]gainHeap{}
+	for v := 0; v < n; v++ {
+		heaps[side[v]] = append(heaps[side[v]], gainItem{d[v], v, 0})
+	}
+	heap.Init(&heaps[0])
+	heap.Init(&heaps[1])
+
+	// topK pops up to k valid entries from side s (pushing them back).
+	topK := func(s uint8, k int) []int {
+		var out []int
+		var keep []gainItem
+		for len(out) < k && heaps[s].Len() > 0 {
+			it := heap.Pop(&heaps[s]).(gainItem)
+			if locked[it.cell] || it.ver != ver[it.cell] || side[it.cell] != s {
+				continue
+			}
+			out = append(out, it.cell)
+			keep = append(keep, it)
+		}
+		for _, it := range keep {
+			heap.Push(&heaps[s], it)
+		}
+		return out
+	}
+	crossW := func(a, b int) int {
+		for _, e := range adj[a] {
+			if e.to == b {
+				return e.w
+			}
+		}
+		return 0
+	}
+	bump := func(v int, delta int) {
+		if locked[v] {
+			return
+		}
+		d[v] += delta
+		ver[v]++
+		heap.Push(&heaps[side[v]], gainItem{d[v], v, ver[v]})
+	}
+
+	type swap struct{ a, b, gain int }
+	var swaps []swap
+	cum, bestCum, bestIdx := 0, 0, -1
+
+	const candidates = 6
+	for {
+		as := topK(0, candidates)
+		bs := topK(1, candidates)
+		if len(as) == 0 || len(bs) == 0 {
+			break
+		}
+		bestGain := int(-1 << 30)
+		var bestA, bestB int
+		for _, a := range as {
+			for _, b := range bs {
+				gn := d[a] + d[b] - 2*crossW(a, b)
+				if gn > bestGain {
+					bestGain, bestA, bestB = gn, a, b
+				}
+			}
+		}
+		a, b := bestA, bestB
+		locked[a], locked[b] = true, true
+		cum += bestGain
+		swaps = append(swaps, swap{a, b, bestGain})
+		// Update D values as if a and b swapped sides.
+		for _, e := range adj[a] {
+			if e.to == b || locked[e.to] {
+				continue
+			}
+			if side[e.to] == side[a] {
+				bump(e.to, 2*e.w)
+			} else {
+				bump(e.to, -2*e.w)
+			}
+		}
+		for _, e := range adj[b] {
+			if e.to == a || locked[e.to] {
+				continue
+			}
+			if side[e.to] == side[b] {
+				bump(e.to, 2*e.w)
+			} else {
+				bump(e.to, -2*e.w)
+			}
+		}
+		side[a], side[b] = side[b], side[a]
+		if cum > bestCum {
+			bestCum, bestIdx = cum, len(swaps)-1
+		}
+	}
+	// Revert swaps beyond the best prefix.
+	for i := len(swaps) - 1; i > bestIdx; i-- {
+		a, b := swaps[i].a, swaps[i].b
+		side[a], side[b] = side[b], side[a]
+	}
+	return bestCum
+}

@@ -1,0 +1,157 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Multilevel implements multilevel min-cut partitioning: the hypergraph is
+// coarsened by repeated heavy-edge matching until it is small, the
+// coarsest graph is split with FM, and the split is projected back up with
+// an FM refinement pass at every level. This is the scheme the follow-up
+// logic-simulation partitioning literature adopted from physical design
+// (and the engine inside tools like hMETIS): coarsening lets the
+// refinement escape the local minima a flat FM pass gets stuck in, at
+// essentially FM cost.
+func Multilevel(c *circuit.Circuit, k int, w Weights, seed int64) *Partition {
+	return recursiveBisect(c, k, w, seed, mlBisect)
+}
+
+// coarseLevel captures one step of the coarsening hierarchy.
+type coarseLevel struct {
+	g *localGraph
+	// fineToCoarse maps each finer-level vertex to its coarse vertex.
+	fineToCoarse []int
+}
+
+// mlBisect runs coarsen / initial-partition / uncoarsen+refine.
+func mlBisect(g *localGraph, side []uint8, targetA float64, rng *rand.Rand) {
+	if len(g.nets) == 0 {
+		return
+	}
+	const coarsestSize = 96
+
+	// Coarsening phase.
+	levels := []coarseLevel{}
+	cur := g
+	for len(cur.verts) > coarsestSize {
+		next, mapping, shrunk := coarsen(cur, rng)
+		if !shrunk {
+			break
+		}
+		levels = append(levels, coarseLevel{g: cur, fineToCoarse: mapping})
+		cur = next
+	}
+
+	// Initial partition of the coarsest graph.
+	coarseSide := initialSplit(cur, targetA, rng)
+	fmBisect(cur, coarseSide, targetA, rng)
+
+	// Uncoarsening phase: project and refine at each finer level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fineSide := make([]uint8, len(lv.g.verts))
+		for v := range fineSide {
+			fineSide[v] = coarseSide[lv.fineToCoarse[v]]
+		}
+		fmBisect(lv.g, fineSide, targetA, rng)
+		coarseSide = fineSide
+	}
+	copy(side, coarseSide)
+}
+
+// coarsen contracts heavy-edge matched vertex pairs into a smaller
+// hypergraph. It returns the coarse graph, the fine-to-coarse vertex map,
+// and whether any contraction happened.
+func coarsen(g *localGraph, rng *rand.Rand) (*localGraph, []int, bool) {
+	n := len(g.verts)
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Greedy matching in random order: pair each vertex with an unmatched
+	// neighbour sharing a net (preferring small nets — "heavier" implied
+	// connectivity).
+	order := rng.Perm(n)
+	matched := 0
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestNet := -1, 1<<30
+		for _, netID := range g.netsOf[v] {
+			cells := g.nets[netID]
+			if len(cells) >= bestNet {
+				continue
+			}
+			for _, u := range cells {
+				if u != v && match[u] < 0 {
+					best, bestNet = u, len(cells)
+					break
+				}
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+			matched++
+		}
+	}
+	if matched == 0 {
+		return nil, nil, false
+	}
+
+	// Assign coarse ids.
+	fineToCoarse := make([]int, n)
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	coarseN := 0
+	for v := 0; v < n; v++ {
+		if fineToCoarse[v] >= 0 {
+			continue
+		}
+		fineToCoarse[v] = coarseN
+		if m := match[v]; m >= 0 {
+			fineToCoarse[m] = coarseN
+		}
+		coarseN++
+	}
+
+	// Build the coarse hypergraph directly (no circuit backing): weights
+	// sum over merged vertices; nets map through, dropping collapsed ones.
+	cg := &localGraph{
+		verts:  make([]circuit.GateID, coarseN),
+		w:      make([]float64, coarseN),
+		netsOf: make([][]int, coarseN),
+	}
+	for v := 0; v < n; v++ {
+		cv := fineToCoarse[v]
+		cg.w[cv] += g.w[v]
+		if cg.w[cv] > cg.maxW {
+			cg.maxW = cg.w[cv]
+		}
+	}
+	cg.total = g.total
+	seen := map[int]bool{}
+	for _, cells := range g.nets {
+		clear(seen)
+		mapped := make([]int, 0, len(cells))
+		for _, u := range cells {
+			cu := fineToCoarse[u]
+			if !seen[cu] {
+				seen[cu] = true
+				mapped = append(mapped, cu)
+			}
+		}
+		if len(mapped) < 2 {
+			continue
+		}
+		netID := len(cg.nets)
+		cg.nets = append(cg.nets, mapped)
+		for _, cu := range mapped {
+			cg.netsOf[cu] = append(cg.netsOf[cu], netID)
+		}
+	}
+	return cg, fineToCoarse, true
+}

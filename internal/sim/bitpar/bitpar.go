@@ -1,0 +1,247 @@
+// Package bitpar implements bit-parallel (word-level) compiled simulation:
+// 64 input patterns evaluated simultaneously by mapping each gate to one
+// machine word and each pattern to one bit position.
+//
+// This is the word-level instantiation of the paper's data parallelism
+// ("different processors [here: bit lanes] simulate the circuit for
+// distinct input vectors ... quite effective for fault simulation") and
+// the engine behind the classic PPSFP fault-grading loop in package fault.
+// Like the oblivious engine it is compiled-mode and zero-delay: gates
+// evaluate level by level, so it reports settled values per pattern, not
+// waveforms, and it is restricted to the two-valued system.
+//
+// Sequential circuits are handled cycle-based with an implicit global
+// clock: Cycle() makes every flip-flop sample its settled data input
+// simultaneously, the conventional treatment of ISCAS-89-style netlists in
+// test generation tools (explicit clock inputs are ignored).
+package bitpar
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/circuit"
+)
+
+// Sim is a bit-parallel evaluator over one circuit. It is not safe for
+// concurrent use; fault grading creates one Sim per worker.
+type Sim struct {
+	c     *circuit.Circuit
+	comb  []circuit.GateID // combinational gates in evaluation order
+	seq   []circuit.GateID // flip-flops
+	w     []uint64         // value word per gate (bit k = pattern k)
+	evals uint64
+	// force overrides one net to a constant word in every lane — the
+	// stuck-at injection mechanism of PPSFP fault grading.
+	forceGate circuit.GateID
+	forceWord uint64
+	forced    bool
+}
+
+// ForceNet pins a net to the given word in every subsequent evaluation
+// (stuck-at fault injection). One net at a time; ClearForce removes it.
+func (s *Sim) ForceNet(g circuit.GateID, word uint64) {
+	s.forceGate, s.forceWord, s.forced = g, word, true
+	s.w[g] = word
+}
+
+// ClearForce removes the injected fault.
+func (s *Sim) ClearForce() { s.forced = false }
+
+// New compiles a circuit for bit-parallel evaluation. Circuits with
+// transparent latches, tri-state drivers, resolution nodes, or X constants
+// are rejected: those need more than two values.
+func New(c *circuit.Circuit) (*Sim, error) {
+	for id := range c.Gates {
+		switch c.Gates[id].Kind {
+		case circuit.DLatch, circuit.Tri, circuit.Resolve, circuit.ConstX:
+			return nil, fmt.Errorf("bitpar: gate %q (%v) is not two-valued evaluable",
+				c.Gates[id].Name, c.Gates[id].Kind)
+		}
+	}
+	levels, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{c: c, w: make([]uint64, c.NumGates())}
+	for _, level := range levels {
+		for _, g := range level {
+			if c.Gates[g].Kind == circuit.DFF {
+				s.seq = append(s.seq, g)
+			} else {
+				s.comb = append(s.comb, g)
+			}
+		}
+	}
+	// Constants hold their value in every lane from the start.
+	for id := range c.Gates {
+		if c.Gates[id].Kind == circuit.Const1 {
+			s.w[id] = ^uint64(0)
+		}
+	}
+	return s, nil
+}
+
+// Reset clears all state words (flip-flops and nets back to all-zero).
+func (s *Sim) Reset() {
+	for i := range s.w {
+		s.w[i] = 0
+	}
+	for id := range s.c.Gates {
+		if s.c.Gates[id].Kind == circuit.Const1 {
+			s.w[id] = ^uint64(0)
+		}
+	}
+}
+
+// SetInput drives a primary input with one bit per pattern.
+func (s *Sim) SetInput(g circuit.GateID, patterns uint64) {
+	s.w[g] = patterns
+}
+
+// Get returns a net's settled word.
+func (s *Sim) Get(g circuit.GateID) uint64 { return s.w[g] }
+
+// Evaluations reports the number of gate-word evaluations performed; each
+// one covers up to 64 patterns.
+func (s *Sim) Evaluations() uint64 { return s.evals }
+
+// Settle evaluates the combinational logic level by level.
+func (s *Sim) Settle() {
+	for _, g := range s.comb {
+		if s.forced && g == s.forceGate {
+			s.w[g] = s.forceWord
+			continue
+		}
+		s.w[g] = s.evalWord(g)
+		s.evals++
+	}
+}
+
+// Cycle clocks every flip-flop once (sampling the currently settled data
+// inputs simultaneously) and re-settles the combinational logic.
+func (s *Sim) Cycle() {
+	// Two-phase: sample all D inputs before committing any Q.
+	type upd struct {
+		g circuit.GateID
+		v uint64
+	}
+	updates := make([]upd, 0, len(s.seq))
+	for _, g := range s.seq {
+		updates = append(updates, upd{g, s.w[s.c.Gates[g].Fanin[0]]})
+		s.evals++
+	}
+	for _, u := range updates {
+		s.w[u.g] = u.v
+	}
+	s.Settle()
+}
+
+// evalWord computes one gate over all 64 lanes.
+func (s *Sim) evalWord(g circuit.GateID) uint64 {
+	gate := &s.c.Gates[g]
+	fi := gate.Fanin
+	switch gate.Kind {
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return ^uint64(0)
+	case circuit.Buf, circuit.Output:
+		return s.w[fi[0]]
+	case circuit.Not:
+		return ^s.w[fi[0]]
+	case circuit.And:
+		acc := ^uint64(0)
+		for _, f := range fi {
+			acc &= s.w[f]
+		}
+		return acc
+	case circuit.Nand:
+		acc := ^uint64(0)
+		for _, f := range fi {
+			acc &= s.w[f]
+		}
+		return ^acc
+	case circuit.Or:
+		var acc uint64
+		for _, f := range fi {
+			acc |= s.w[f]
+		}
+		return acc
+	case circuit.Nor:
+		var acc uint64
+		for _, f := range fi {
+			acc |= s.w[f]
+		}
+		return ^acc
+	case circuit.Xor:
+		var acc uint64
+		for _, f := range fi {
+			acc ^= s.w[f]
+		}
+		return acc
+	case circuit.Xnor:
+		var acc uint64
+		for _, f := range fi {
+			acc ^= s.w[f]
+		}
+		return ^acc
+	case circuit.Mux2:
+		sel, d0, d1 := s.w[fi[0]], s.w[fi[1]], s.w[fi[2]]
+		return (sel & d1) | (^sel & d0)
+	}
+	return 0
+}
+
+// Patterns packs up to 64 input assignments. Patterns[k][i] is the value
+// of input i (in circuit.Inputs order) under pattern k.
+type Patterns struct {
+	Count int
+	// Words is indexed like circuit.Inputs: Words[i] bit k = pattern k.
+	Words []uint64
+}
+
+// PackPatterns converts per-pattern boolean assignments into lane words.
+func PackPatterns(c *circuit.Circuit, patterns [][]bool) (*Patterns, error) {
+	if len(patterns) > 64 {
+		return nil, fmt.Errorf("bitpar: %d patterns exceed the 64-lane word", len(patterns))
+	}
+	p := &Patterns{Count: len(patterns), Words: make([]uint64, len(c.Inputs))}
+	for k, pat := range patterns {
+		if len(pat) != len(c.Inputs) {
+			return nil, fmt.Errorf("bitpar: pattern %d has %d values for %d inputs", k, len(pat), len(c.Inputs))
+		}
+		for i, b := range pat {
+			if b {
+				p.Words[i] |= 1 << k
+			}
+		}
+	}
+	return p, nil
+}
+
+// Mask returns the lane mask covering Count patterns.
+func (p *Patterns) Mask() uint64 {
+	if p.Count >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<p.Count - 1
+}
+
+// ApplyAndSettle drives the patterns and settles the circuit. A forced
+// (faulted) input net keeps its forced word.
+func (s *Sim) ApplyAndSettle(p *Patterns) {
+	for i, in := range s.c.Inputs {
+		if s.forced && in == s.forceGate {
+			continue
+		}
+		s.w[in] = p.Words[i]
+	}
+	s.Settle()
+}
+
+// CountDifferences reports in how many lanes (patterns) two words differ
+// under the mask.
+func CountDifferences(a, b, mask uint64) int {
+	return bits.OnesCount64((a ^ b) & mask)
+}

@@ -1,0 +1,236 @@
+package bitpar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/simtest"
+)
+
+// TestMatchesScalarSimulation cross-validates all 64 lanes against the
+// event-driven reference, one pattern at a time.
+func TestMatchesScalarSimulation(t *testing.T) {
+	c, err := gen.RandomDAG(gen.RandomConfig{Gates: 300, Inputs: 12, Outputs: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	patterns := make([][]bool, 64)
+	for k := range patterns {
+		patterns[k] = make([]bool, len(c.Inputs))
+		for i := range patterns[k] {
+			patterns[k][i] = rng.Intn(2) == 1
+		}
+	}
+	packed, err := PackPatterns(c, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyAndSettle(packed)
+
+	for k, pat := range patterns {
+		assign := map[string]logic.Value{}
+		for i, in := range c.Inputs {
+			assign[c.Gate(in).Name] = logic.FromBool(pat[i])
+		}
+		vals, err := simtest.Settle(c, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := range c.Gates {
+			want, ok := vals[g].Bool()
+			if !ok {
+				t.Fatalf("scalar value of gate %d not driven", g)
+			}
+			got := s.Get(circuit.GateID(g))&(1<<k) != 0
+			if got != want {
+				t.Fatalf("pattern %d gate %d (%s): bitpar %v, scalar %v",
+					k, g, c.Gates[g].Name, got, want)
+			}
+		}
+	}
+}
+
+// TestMultiplierLanes computes 64 products simultaneously and checks them
+// against Go arithmetic.
+func TestMultiplierLanes(t *testing.T) {
+	const bits = 6
+	c, err := gen.ArrayMultiplier(bits, gen.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	type op struct{ a, b uint64 }
+	ops := make([]op, 64)
+	patterns := make([][]bool, 64)
+	for k := range patterns {
+		ops[k] = op{rng.Uint64() & (1<<bits - 1), rng.Uint64() & (1<<bits - 1)}
+		pat := make([]bool, len(c.Inputs))
+		for i, in := range c.Inputs {
+			name := c.Gate(in).Name
+			var idx int
+			var bus uint64
+			if name[0] == 'a' {
+				bus = ops[k].a
+			} else {
+				bus = ops[k].b
+			}
+			if _, err := fmtSscanf(name[1:], &idx); err != nil {
+				t.Fatal(err)
+			}
+			pat[i] = bus&(1<<idx) != 0
+		}
+		patterns[k] = pat
+	}
+	packed, err := PackPatterns(c, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyAndSettle(packed)
+	for k := range ops {
+		var p uint64
+		for i := 0; i < 2*bits; i++ {
+			o, ok := c.ByName("p" + itoa(i))
+			if !ok {
+				t.Fatalf("no output p%d", i)
+			}
+			if s.Get(o)&(1<<k) != 0 {
+				p |= 1 << i
+			}
+		}
+		if want := ops[k].a * ops[k].b; p != want {
+			t.Fatalf("lane %d: %d*%d = %d, want %d", k, ops[k].a, ops[k].b, p, want)
+		}
+	}
+}
+
+// TestSequentialCycle checks the implicit-clock LFSR-style behaviour: a
+// shift register shifts one position per Cycle in every lane.
+func TestSequentialCycle(t *testing.T) {
+	c, err := gen.ShiftRegister(5, gen.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.ByName("d")
+	out, _ := c.ByName("out")
+	// Lane k carries a distinct bit stream; after 5 cycles the first bit
+	// driven appears at the output.
+	s.SetInput(d, 0xAAAA)
+	s.Settle()
+	for i := 0; i < 5; i++ {
+		s.Cycle()
+	}
+	if got := s.Get(out); got != 0xAAAA {
+		t.Fatalf("shift register output = %x, want AAAA", got)
+	}
+}
+
+// TestForceNet pins a mid-circuit net and checks downstream lanes see it.
+func TestForceNet(t *testing.T) {
+	b := circuit.NewBuilder()
+	a := b.Input("a")
+	n := b.Gate(circuit.Not, "n", a)
+	y := b.Output("y", n)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ForceNet(n, 0) // stuck-at-0 on the inverter output
+	s.SetInput(a, 0x0F)
+	s.Settle()
+	if got := s.Get(y); got != 0 {
+		t.Fatalf("forced net leaked: y = %x", got)
+	}
+	s.ClearForce()
+	s.Settle()
+	if got := s.Get(y); got != ^uint64(0x0F) {
+		t.Fatalf("after ClearForce: y = %x", got)
+	}
+}
+
+func TestRejectsNonTwoValued(t *testing.T) {
+	b := circuit.NewBuilder()
+	a := b.Input("a")
+	en := b.Input("en")
+	tr := b.Gate(circuit.Tri, "t", en, a)
+	b.Output("y", tr)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c); err == nil {
+		t.Fatal("tri-state circuit accepted")
+	}
+}
+
+func TestPackPatternsValidation(t *testing.T) {
+	c, err := gen.RippleAdder(2, gen.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PackPatterns(c, make([][]bool, 65)); err == nil {
+		t.Fatal("65 patterns accepted")
+	}
+	if _, err := PackPatterns(c, [][]bool{{true}}); err == nil {
+		t.Fatal("short pattern accepted")
+	}
+	p, err := PackPatterns(c, [][]bool{make([]bool, len(c.Inputs))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mask() != 1 {
+		t.Fatalf("mask = %x", p.Mask())
+	}
+}
+
+func TestCountDifferences(t *testing.T) {
+	if CountDifferences(0b1010, 0b0110, 0xF) != 2 {
+		t.Fatal("CountDifferences wrong")
+	}
+	if CountDifferences(0b1010, 0b0110, 0b0010) != 0 {
+		t.Fatal("mask not applied")
+	}
+}
+
+// small helpers to avoid fmt dependency weirdness in hot test loops
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func fmtSscanf(s string, v *int) (int, error) {
+	*v = 0
+	for i := 0; i < len(s); i++ {
+		*v = *v*10 + int(s[i]-'0')
+	}
+	return 1, nil
+}

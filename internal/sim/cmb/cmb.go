@@ -1,0 +1,584 @@
+// Package cmb implements conservative asynchronous simulation in the
+// Chandy–Misra–Bryant style.
+//
+// Each logical process runs as its own goroutine with a private simulated
+// clock. The input waiting rule is enforced through per-link promises: a
+// null message from LP A carrying timestamp P guarantees that every future
+// value message from A has time >= P, so the receiver may safely process
+// any event strictly earlier than the minimum promise over its input
+// links. Promises are computed from the sender's earliest possible next
+// processing time plus the link lookahead (the minimum delay of the
+// sender's gates whose outputs cross that link) — positive lookahead on
+// every link is what makes the null-message chain advance around cycles,
+// exactly the classic deadlock-avoidance argument.
+//
+// Three protocol variants reproduce the paper's Section IV taxonomy:
+//
+//   - NullEager: promises are pushed to downstream neighbours after every
+//     processing step (classic deadlock avoidance).
+//   - NullDemand: promises are only sent in response to a request from a
+//     blocked neighbour (demand-driven nulls, lower null traffic, higher
+//     blocking latency).
+//   - DeadlockRecovery: no null messages at all; a coordinator detects
+//     global quiescence (every LP blocked, no messages in transit) and
+//     broadcasts a permit advancing the safe time to the global minimum
+//     next event — the circulating-marker / deadlock recovery family.
+package cmb
+
+import (
+	"fmt"
+	gosync "sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/mpsc"
+	"repro/internal/partition"
+	"repro/internal/sim/kernel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Mode selects the synchronization variant.
+type Mode uint8
+
+// The protocol variants.
+const (
+	NullEager Mode = iota
+	NullDemand
+	DeadlockRecovery
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case NullEager:
+		return "null-eager"
+	case NullDemand:
+		return "null-demand"
+	case DeadlockRecovery:
+		return "deadlock-recovery"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Config parameterizes a conservative run.
+type Config struct {
+	// Partition assigns gates to LPs; required.
+	Partition *partition.Partition
+	// Mode selects the protocol variant.
+	Mode Mode
+	// System is the logic value system.
+	System logic.System
+	// Queue selects each LP's pending-event set implementation.
+	Queue eventq.Impl
+	// Watch lists nets to record; nil watches primary outputs.
+	Watch []circuit.GateID
+	// MaxEvents aborts runaway simulations; 0 means no limit.
+	MaxEvents uint64
+}
+
+// Result is the outcome of a conservative run.
+type Result struct {
+	Values   []logic.Value
+	Waveform trace.Waveform
+	EndTime  circuit.Tick
+	Stats    stats.RunStats
+}
+
+// infTick is the "never" timestamp.
+const infTick = circuit.Tick(^uint64(0))
+
+type msgKind uint8
+
+const (
+	msgValue msgKind = iota
+	msgNull          // time carries the promise bound
+	msgRequest
+	msgPermit // time carries the granted global minimum
+	msgTerminate
+)
+
+type msg struct {
+	kind  msgKind
+	from  int
+	time  circuit.Tick
+	gate  circuit.GateID
+	value logic.Value
+}
+
+// outLink is one cross-LP edge with its lookahead.
+type outLink struct {
+	dst int
+	la  circuit.Tick
+}
+
+// shared bundles cross-goroutine state of a run.
+type shared struct {
+	cfg     Config
+	c       *circuit.Circuit
+	until   circuit.Tick
+	inboxes []*mpsc.Mailbox[msg]
+	transit atomic.Int64
+	events  atomic.Uint64
+	abort   atomic.Bool
+	// blockedCnt counts LPs currently parked in WaitDrain (detect mode).
+	blockedCnt atomic.Int64
+	// rounds counts coordinator permit broadcasts (detect mode): each is a
+	// global quiescence detection plus a permit fan-out, priced like a GVT
+	// round by the cost model. This is exactly the overhead that makes
+	// deadlock recovery slow: the paper's circulating-marker algorithms pay
+	// a global synchronization per advance.
+	rounds uint64
+}
+
+// clp is one conservative logical process.
+type clp struct {
+	id    int
+	sh    *shared
+	k     *kernel.LP
+	q     eventq.Queue[kernel.Event]
+	rec   trace.Recorder
+	st    stats.LPStats
+	lvt   circuit.Tick
+	safe  circuit.Tick // DeadlockRecovery: permit bound; null modes: derived
+	bound map[int]circuit.Tick
+	last  map[int]circuit.Tick // last promise sent per out-link dst
+	out   []outLink
+	in    []int
+	reqd  map[int]bool // dsts that requested a promise (demand mode)
+	// awaiting tracks in-links with an outstanding promise request, so a
+	// blocked LP keeps at most one request in flight per source; without
+	// the bound, mutual re-requesting among blocked LPs becomes a message
+	// storm that grows with the LP count.
+	awaiting map[int]bool
+	// nextPub and wakeGen publish quiescence state to the coordinator
+	// (DeadlockRecovery mode): the pending-event time while blocked, and a
+	// generation bumped on every wake for the double-collect snapshot.
+	nextPub atomic.Uint64
+	wakeGen atomic.Uint64
+	buf     []msg
+	evs     []kernel.Event
+	end     circuit.Tick
+}
+
+// Run simulates c under the stimulus until the given time (inclusive).
+func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Config) (*Result, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("cmb: Config.Partition is required")
+	}
+	if err := cfg.Partition.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.NineValued
+	}
+	start := time.Now()
+
+	p := cfg.Partition
+	n := p.Blocks
+	owner := p.Assign
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+
+	sh := &shared{cfg: cfg, c: c, until: until}
+	sh.inboxes = make([]*mpsc.Mailbox[msg], n)
+	for i := range sh.inboxes {
+		sh.inboxes[i] = mpsc.New[msg]()
+	}
+	// Derive the LP graph: links and lookaheads.
+	type linkKey struct{ src, dst int }
+	la := map[linkKey]circuit.Tick{}
+	for g := range c.Gates {
+		src := owner[g]
+		d := c.Gates[g].Delay
+		for _, fo := range c.Fanout[g] {
+			dst := owner[fo]
+			if dst == src {
+				continue
+			}
+			k := linkKey{src, dst}
+			if cur, ok := la[k]; !ok || d < cur {
+				la[k] = d
+			}
+		}
+	}
+
+	blockGates := p.BlockGates()
+	lps := make([]*clp, n)
+	for i := 0; i < n; i++ {
+		l := &clp{
+			id:       i,
+			sh:       sh,
+			q:        eventq.New[kernel.Event](cfg.Queue),
+			bound:    map[int]circuit.Tick{},
+			last:     map[int]circuit.Tick{},
+			reqd:     map[int]bool{},
+			awaiting: map[int]bool{},
+			safe:     1,
+		}
+		l.k = kernel.New(c, owner, i, cfg.System, watched, blockGates[i])
+		l.k.Schedule = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
+			l.q.Push(uint64(t), kernel.Event{Gate: g, Value: v})
+		}
+		l.k.Send = func(dst int, t circuit.Tick, g circuit.GateID, v logic.Value) {
+			sh.transit.Add(1)
+			sh.inboxes[dst].Put(msg{kind: msgValue, from: l.id, time: t, gate: g, value: v})
+		}
+		l.k.Record = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
+			l.rec.Record(t, g, v)
+		}
+		lps[i] = l
+	}
+	for k2, d := range la {
+		lps[k2.src].out = append(lps[k2.src].out, outLink{k2.dst, d})
+		lps[k2.src].last[k2.dst] = 0
+		lps[k2.dst].in = append(lps[k2.dst].in, k2.src)
+		lps[k2.dst].bound[k2.src] = 1
+	}
+
+	// Stimulus routing: each input change goes to the owner of the input
+	// gate and to every LP that owns a consumer of it (ghost updates).
+	initial := make([][]kernel.Event, n)
+	deliverTo := make(map[circuit.GateID][]int)
+	for _, in := range c.Inputs {
+		dsts := []int{owner[in]}
+		seen := map[int]bool{owner[in]: true}
+		for _, fo := range c.Fanout[in] {
+			if b := owner[fo]; !seen[b] {
+				seen[b] = true
+				dsts = append(dsts, b)
+			}
+		}
+		deliverTo[in] = dsts
+	}
+	for _, ch := range stim.Changes {
+		if ch.Time > until {
+			continue
+		}
+		ev := kernel.Event{Gate: ch.Input, Value: cfg.System.Project(ch.Value)}
+		for _, dst := range deliverTo[ch.Input] {
+			if ch.Time == 0 {
+				initial[dst] = append(initial[dst], ev)
+			} else {
+				lps[dst].q.Push(uint64(ch.Time), ev)
+			}
+		}
+	}
+
+	var wg gosync.WaitGroup
+	for _, l := range lps {
+		wg.Add(1)
+		go func(l *clp) {
+			defer wg.Done()
+			l.run(initial[l.id])
+		}(l)
+	}
+	var coordErr error
+	if cfg.Mode == DeadlockRecovery {
+		coordErr = coordinate(sh, lps)
+	}
+	wg.Wait()
+
+	if sh.abort.Load() {
+		if coordErr != nil {
+			return nil, coordErr
+		}
+		return nil, fmt.Errorf("cmb: event limit %d exceeded", cfg.MaxEvents)
+	}
+
+	res := &Result{Values: make([]logic.Value, len(c.Gates))}
+	for g := range c.Gates {
+		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
+	}
+	recs := make([]*trace.Recorder, n)
+	for i, l := range lps {
+		recs[i] = &l.rec
+		res.Stats.LPs = append(res.Stats.LPs, l.st)
+		if l.end > res.EndTime {
+			res.EndTime = l.end
+		}
+	}
+	res.Waveform = trace.Merge(recs...)
+	res.Stats.GVTRounds = sh.rounds
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}
+
+// safeTime computes the time strictly below which this LP may process.
+func (l *clp) safeTime() circuit.Tick {
+	if l.sh.cfg.Mode == DeadlockRecovery {
+		return l.safe
+	}
+	min := infTick
+	for _, src := range l.in {
+		if b := l.bound[src]; b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// nextLocal returns the earliest pending event time (infTick if none).
+func (l *clp) nextLocal() circuit.Tick {
+	if t, ok := l.q.PeekTime(); ok {
+		return circuit.Tick(t)
+	}
+	return infTick
+}
+
+// promise computes the bound this LP can currently guarantee on a link
+// with the given lookahead: its earliest possible next processing time
+// plus the lookahead.
+func (l *clp) promise(la circuit.Tick) circuit.Tick {
+	e := l.nextLocal()
+	if s := l.safeTime(); s < e {
+		e = s
+	}
+	if e > l.sh.until {
+		return infTick
+	}
+	if e > infTick-la {
+		return infTick
+	}
+	return e + la
+}
+
+// sendPromises pushes increased promises on the selected out-links.
+func (l *clp) sendPromises(onlyRequested bool) {
+	for _, link := range l.out {
+		if onlyRequested && !l.reqd[link.dst] {
+			continue
+		}
+		p := l.promise(link.la)
+		if p <= l.last[link.dst] {
+			continue
+		}
+		l.last[link.dst] = p
+		delete(l.reqd, link.dst)
+		l.sh.inboxes[link.dst].Put(msg{kind: msgNull, from: l.id, time: p})
+		l.st.NullsSent++
+	}
+}
+
+// handle processes one inbound message; it returns false on terminate.
+func (l *clp) handle(m msg) bool {
+	switch m.kind {
+	case msgValue:
+		l.sh.transit.Add(-1)
+		l.st.MessagesRecv++
+		l.q.Push(uint64(m.time), kernel.Event{Gate: m.gate, Value: m.value})
+	case msgNull:
+		l.st.NullsRecv++
+		l.awaiting[m.from] = false
+		if m.time > l.bound[m.from] {
+			l.bound[m.from] = m.time
+		}
+	case msgRequest:
+		l.reqd[m.from] = true
+	case msgPermit:
+		if s := m.time + 1; s > l.safe {
+			l.safe = s
+		}
+	case msgTerminate:
+		return false
+	}
+	return true
+}
+
+// run is the LP goroutine body.
+func (l *clp) run(initialEvents []kernel.Event) {
+	detect := l.sh.cfg.Mode == DeadlockRecovery
+	demand := l.sh.cfg.Mode == NullDemand
+
+	// Time-zero settling step.
+	l.k.Step(0, initialEvents, true, nil, &l.st)
+	l.end = 0
+	if !detect {
+		l.sendPromises(false)
+	}
+
+	for {
+		if l.sh.abort.Load() {
+			return
+		}
+		// Drain whatever has arrived.
+		l.buf = l.sh.inboxes[l.id].TryDrain(l.buf[:0])
+		for _, m := range l.buf {
+			if !l.handle(m) {
+				return
+			}
+		}
+		// Process every safe timestep.
+		for {
+			t := l.nextLocal()
+			if t == infTick || t > l.sh.until || t >= l.safeTime() {
+				break
+			}
+			l.evs = l.evs[:0]
+			for {
+				pt, ok := l.q.PeekTime()
+				if !ok || circuit.Tick(pt) != t {
+					break
+				}
+				_, ev, _ := l.q.PopMin()
+				l.evs = append(l.evs, ev)
+			}
+			if max := l.sh.cfg.MaxEvents; max > 0 {
+				if l.sh.events.Add(uint64(len(l.evs))) > max {
+					l.sh.abortAll()
+					return
+				}
+			}
+			l.k.Step(t, l.evs, false, nil, &l.st)
+			l.lvt = t
+			l.end = t
+		}
+		if !detect {
+			// Push promises eagerly, or answer outstanding requests only
+			// (demand mode); either way only increases are transmitted.
+			l.sendPromises(demand)
+		}
+		// Done? (Null modes only: in DeadlockRecovery the coordinator owns
+		// termination and LPs just keep reporting quiescence.)
+		if !detect && l.nextLocal() > l.sh.until && l.safeTime() > l.sh.until {
+			// Final promises are already infTick via promise().
+			l.sendPromises(false)
+			return
+		}
+		if !detect && l.nextLocal() < l.safeTime() && l.nextLocal() <= l.sh.until {
+			// More work became processable from the drained messages.
+			continue
+		}
+		// Blocked: wait for news.
+		if demand {
+			for _, src := range l.in {
+				if l.awaiting[src] || l.bound[src] > l.sh.until {
+					continue
+				}
+				l.awaiting[src] = true
+				l.sh.inboxes[src].Put(msg{kind: msgRequest, from: l.id})
+			}
+		}
+		l.st.Blocks++
+		var ok bool
+		if detect {
+			// Publish quiescence state for the coordinator's double-collect
+			// snapshot: next-event time first, then the blocked count, so
+			// that count==n implies every published next is current.
+			l.nextPub.Store(uint64(l.nextLocal()))
+			l.sh.blockedCnt.Add(1)
+			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
+			// Wake order matters: bump the generation before leaving the
+			// blocked count, and leave the count before touching transit
+			// (which happens when value messages are handled below).
+			l.wakeGen.Add(1)
+			l.sh.blockedCnt.Add(-1)
+		} else {
+			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
+		}
+		if !ok {
+			return
+		}
+		keep := true
+		for _, m := range l.buf {
+			if !l.handle(m) {
+				keep = false
+			}
+		}
+		if !keep {
+			return
+		}
+	}
+}
+
+// abortAll flags a global abort and wakes every LP.
+func (sh *shared) abortAll() {
+	sh.abort.Store(true)
+	for _, ib := range sh.inboxes {
+		ib.Poke()
+	}
+}
+
+// coordinate is the DeadlockRecovery coordinator: it detects global
+// quiescence with a double-collect snapshot (every LP blocked, zero
+// messages in transit, and no LP woke while the per-LP next-event times
+// were being read), then either grants a permit advancing the safe time to
+// the global minimum pending event or, when nothing remains inside the
+// horizon, terminates the run.
+func coordinate(sh *shared, lps []*clp) error {
+	n := len(lps)
+	gens := make([]uint64, n)
+	quiet := func() bool {
+		return sh.blockedCnt.Load() == int64(n) && sh.transit.Load() == 0
+	}
+	for {
+		if sh.abort.Load() {
+			return nil
+		}
+		if !quiet() {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		// Double-collect: generation snapshot, reads, generation re-check.
+		for i, l := range lps {
+			gens[i] = l.wakeGen.Load()
+		}
+		if !quiet() {
+			continue
+		}
+		gmin := infTick
+		for _, l := range lps {
+			if t := circuit.Tick(l.nextPub.Load()); t < gmin {
+				gmin = t
+			}
+		}
+		stable := quiet()
+		for i, l := range lps {
+			if l.wakeGen.Load() != gens[i] {
+				stable = false
+			}
+		}
+		if !stable {
+			continue
+		}
+		if gmin > sh.until {
+			for _, ib := range sh.inboxes {
+				ib.Put(msg{kind: msgTerminate})
+			}
+			return nil
+		}
+		sh.rounds++
+		for _, ib := range sh.inboxes {
+			ib.Put(msg{kind: msgPermit, time: gmin})
+		}
+		// Wait until every LP has observably woken (its generation moved
+		// past the snapshot) before re-evaluating quiescence; watching the
+		// blocked count instead would race with an LP that wakes and
+		// re-blocks between two polls.
+		for !sh.abort.Load() {
+			woke := true
+			for i, l := range lps {
+				if l.wakeGen.Load() == gens[i] {
+					woke = false
+					break
+				}
+			}
+			if woke {
+				break
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}

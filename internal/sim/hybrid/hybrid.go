@@ -1,0 +1,128 @@
+// Package hybrid implements the hierarchical synchronization scheme from
+// the paper's future-directions section: a synchronous algorithm within a
+// cluster of processors and an optimistic asynchronous algorithm across
+// clusters — "especially attractive for naturally hierarchical execution
+// platforms (e.g. networks of workstations where the individual
+// workstations are bus-based multiprocessors)".
+//
+// The engine composes the two existing mechanisms: the circuit is
+// partitioned into clusters that run the Time Warp protocol among
+// themselves, and each cluster evaluates its per-timestep gate set across
+// a pool of barrier-synchronized sub-workers (kernel.StepParallel). The
+// modeled execution time therefore combines an intra-cluster critical path
+// (max chunk per step plus one barrier per step) with the usual optimistic
+// overheads between clusters.
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/sim/timewarp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Config parameterizes a hybrid run.
+type Config struct {
+	// Partition assigns gates to clusters; required.
+	Partition *partition.Partition
+	// IntraWorkers is the synchronous worker count inside each cluster
+	// (>= 1; 1 degenerates to plain Time Warp).
+	IntraWorkers int
+	// Cancellation, StateSaving and Window configure the inter-cluster
+	// optimistic protocol.
+	Cancellation timewarp.Cancellation
+	StateSaving  timewarp.StateSaving
+	Window       circuit.Tick
+	// System is the logic value system.
+	System logic.System
+	// Cost prices the modeled times.
+	Cost stats.CostModel
+	// Watch lists nets to record; nil watches primary outputs.
+	Watch []circuit.GateID
+	// MaxEvents aborts runaway simulations; 0 means no limit.
+	MaxEvents uint64
+}
+
+// Result is the outcome of a hybrid run.
+type Result struct {
+	Values   []logic.Value
+	Waveform trace.Waveform
+	EndTime  circuit.Tick
+	Stats    stats.RunStats
+	// IntraCritical is each cluster's modeled intra-cluster critical path.
+	IntraCritical []float64
+	cost          stats.CostModel
+	intraWorkers  int
+}
+
+// Run simulates c under the stimulus until the given time (inclusive).
+func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Config) (*Result, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("hybrid: Config.Partition is required")
+	}
+	if cfg.IntraWorkers < 1 {
+		cfg.IntraWorkers = 1
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+	workers := cfg.IntraWorkers
+	if workers == 1 {
+		workers = 2 // still exercise the parallel step path in degenerate runs
+	}
+	res, err := timewarp.Run(c, stim, until, timewarp.Config{
+		Partition:    cfg.Partition,
+		Cancellation: cfg.Cancellation,
+		StateSaving:  cfg.StateSaving,
+		Window:       cfg.Window,
+		IntraWorkers: workers,
+		Cost:         cfg.Cost,
+		System:       cfg.System,
+		Watch:        cfg.Watch,
+		MaxEvents:    cfg.MaxEvents,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Values:        res.Values,
+		Waveform:      res.Waveform,
+		EndTime:       res.EndTime,
+		Stats:         res.Stats,
+		IntraCritical: res.IntraCritical,
+		cost:          cfg.Cost,
+		intraWorkers:  cfg.IntraWorkers,
+	}, nil
+}
+
+// TotalProcessors reports the modeled machine size: clusters times
+// intra-cluster workers.
+func (r *Result) TotalProcessors() int {
+	return len(r.Stats.LPs) * r.intraWorkers
+}
+
+// ModeledTime prices the run: per cluster, the serial evaluation cost is
+// replaced by the intra-cluster critical path; the slowest cluster plus
+// the inter-cluster GVT overhead bounds the run.
+func (r *Result) ModeledTime() float64 {
+	m := r.cost
+	var worst float64
+	for i, lp := range r.Stats.LPs {
+		overhead := m.Busy(lp) - m.EvalCost*float64(lp.Evaluations)
+		t := overhead
+		if i < len(r.IntraCritical) {
+			t += r.IntraCritical[i]
+		} else {
+			t += m.EvalCost * float64(lp.Evaluations)
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst + float64(r.Stats.GVTRounds)*m.GVT(len(r.Stats.LPs))
+}

@@ -1,0 +1,98 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/sim/seq"
+	"repro/internal/simtest"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+func TestMatchesSequentialReference(t *testing.T) {
+	corpus, err := simtest.StandardCorpus(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A representative subset: the full matrix is covered by the timewarp
+	// suite; hybrid adds the intra-cluster parallel step path.
+	for _, cs := range corpus[:5] {
+		until := seq.Horizon(cs.C, cs.Stim)
+		ref, err := seq.Run(cs.C, cs.Stim, until, seq.Config{System: logic.TwoValued})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, clusters := range []int{2, 3} {
+			for _, workers := range []int{2, 4} {
+				p, err := partition.New(partition.MethodFM, cs.C, clusters, partition.Options{Seed: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(cs.C, cs.Stim, until, Config{
+					Partition:    p,
+					IntraWorkers: workers,
+					System:       logic.TwoValued,
+				})
+				if err != nil {
+					t.Fatalf("%s c=%d w=%d: %v", cs.Name, clusters, workers, err)
+				}
+				if d := trace.Diff(ref.Waveform, res.Waveform, 5); d != "" {
+					t.Fatalf("%s c=%d w=%d mismatch:\n%s", cs.Name, clusters, workers, d)
+				}
+				for g := range ref.Values {
+					if ref.Values[g] != res.Values[g] {
+						t.Fatalf("%s c=%d w=%d: value mismatch at gate %d", cs.Name, clusters, workers, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestModeledTimeAndProcessors(t *testing.T) {
+	c, err := gen.ArrayMultiplier(5, gen.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim, err := vectors.Random(c, vectors.RandomConfig{Vectors: 12, Period: 50, Activity: 0.8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.New(partition.MethodFM, c, 2, partition.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, stim, seq.Horizon(c, stim), Config{
+		Partition:    p,
+		IntraWorkers: 4,
+		System:       logic.TwoValued,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessors() != 8 {
+		t.Fatalf("TotalProcessors = %d, want 8", res.TotalProcessors())
+	}
+	if res.ModeledTime() <= 0 {
+		t.Fatal("no modeled time")
+	}
+	if len(res.IntraCritical) != 2 {
+		t.Fatalf("IntraCritical clusters = %d", len(res.IntraCritical))
+	}
+	for i, crit := range res.IntraCritical {
+		if crit <= 0 {
+			t.Fatalf("cluster %d has no intra critical path", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c, _ := gen.RippleAdder(2, gen.Unit)
+	stim, _ := vectors.Random(c, vectors.RandomConfig{Vectors: 1, Period: 5, Activity: 1, Seed: 0})
+	if _, err := Run(c, stim, 10, Config{}); err == nil {
+		t.Fatal("missing partition accepted")
+	}
+}

@@ -1,0 +1,392 @@
+// Package kernel implements the per-LP timestep executor shared by the
+// asynchronous engines (conservative and optimistic).
+//
+// A logical process owns a subset of the gates. It keeps a full-size ghost
+// copy of the net state: values of its own gates plus the last-received
+// values of remote nets its gates read. One Step applies all net changes
+// for a single simulated time (local events and arrived remote messages
+// alike), then evaluates each affected owned gate once against the settled
+// values — the same two-phase semantics as the sequential reference, which
+// is what makes all engines produce identical waveforms.
+//
+// Steps can capture an undo log of every state write, which is exactly the
+// incremental state saving Time Warp needs: rolling back a step replays its
+// undo log in reverse.
+package kernel
+
+import (
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/stats"
+)
+
+// Event is one net value change to apply.
+type Event struct {
+	Gate  circuit.GateID
+	Value logic.Value
+}
+
+// valChange records a single state write for rollback.
+type valChange struct {
+	gate circuit.GateID
+	old  logic.Value
+}
+
+// Undo is the inverse of one Step: replaying it restores the LP state to
+// the instant before the step ran.
+type Undo struct {
+	vals  []valChange
+	clks  []valChange
+	projs []valChange
+}
+
+// Words reports the saved state volume in value-words, the quantity the
+// cost model prices for state saving.
+func (u *Undo) Words() uint64 {
+	return uint64(len(u.vals) + len(u.clks) + len(u.projs))
+}
+
+// Reset clears the undo for reuse.
+func (u *Undo) Reset() {
+	u.vals = u.vals[:0]
+	u.clks = u.clks[:0]
+	u.projs = u.projs[:0]
+}
+
+// LP is the state of one logical process.
+type LP struct {
+	// Self is this LP's block index; Owner maps gate -> block.
+	Self  int
+	Owner []int
+
+	c         *circuit.Circuit
+	val       []logic.Value
+	prevClk   []logic.Value
+	projected []logic.Value
+	isWatched []bool
+	ownGates  []circuit.GateID
+
+	stamp   []uint64
+	epoch   uint64
+	dirty   []circuit.GateID
+	scratch []logic.Value
+	dstSeen []bool
+
+	// Schedule receives locally owned future events (time, gate, value).
+	Schedule func(t circuit.Tick, g circuit.GateID, v logic.Value)
+	// Send receives cross-LP messages (destination, time, gate, value).
+	Send func(dst int, t circuit.Tick, g circuit.GateID, v logic.Value)
+	// Record receives committed watched-net changes.
+	Record func(t circuit.Tick, g circuit.GateID, v logic.Value)
+}
+
+// New builds an LP executor for block self of the partition-owner map.
+func New(c *circuit.Circuit, owner []int, self int, sys logic.System, watched []circuit.GateID, ownGates []circuit.GateID) *LP {
+	val, prevClk := circuit.InitState(c, sys)
+	projected := make([]logic.Value, len(val))
+	copy(projected, val)
+	isWatched := make([]bool, len(c.Gates))
+	for _, g := range watched {
+		isWatched[g] = true
+	}
+	nBlocks := 0
+	for _, o := range owner {
+		if o+1 > nBlocks {
+			nBlocks = o + 1
+		}
+	}
+	return &LP{
+		Self:      self,
+		Owner:     owner,
+		c:         c,
+		val:       val,
+		prevClk:   prevClk,
+		projected: projected,
+		isWatched: isWatched,
+		ownGates:  ownGates,
+		stamp:     make([]uint64, len(c.Gates)),
+		dstSeen:   make([]bool, nBlocks),
+	}
+}
+
+// Value returns the LP's current view of a net.
+func (lp *LP) Value(g circuit.GateID) logic.Value { return lp.val[g] }
+
+// Values exposes the full ghost state (for final-state assembly).
+func (lp *LP) Values() []logic.Value { return lp.val }
+
+// Step applies the events for time t, then evaluates affected owned gates.
+// When undo is non-nil every state write is logged into it. Counters are
+// accumulated into st.
+func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st *stats.LPStats) {
+	lp.epoch++
+	lp.dirty = lp.dirty[:0]
+	st.Steps++
+
+	for _, ev := range events {
+		st.EventsApplied++
+		if lp.val[ev.Gate] == ev.Value {
+			continue
+		}
+		if undo != nil {
+			undo.vals = append(undo.vals, valChange{ev.Gate, lp.val[ev.Gate]})
+		}
+		lp.val[ev.Gate] = ev.Value
+		if lp.Owner[ev.Gate] == lp.Self && lp.isWatched[ev.Gate] && lp.Record != nil {
+			lp.Record(t, ev.Gate, ev.Value)
+		}
+		for _, out := range lp.c.Fanout[ev.Gate] {
+			if lp.Owner[out] != lp.Self {
+				continue
+			}
+			if lp.stamp[out] != lp.epoch {
+				lp.stamp[out] = lp.epoch
+				lp.dirty = append(lp.dirty, out)
+			}
+		}
+	}
+	if initial {
+		lp.dirty = lp.dirty[:0]
+		for _, g := range lp.ownGates {
+			if !lp.c.Gates[g].Kind.Source() {
+				lp.dirty = append(lp.dirty, g)
+			}
+		}
+	}
+
+	for _, g := range lp.dirty {
+		var out, clkSample logic.Value
+		out, clkSample, lp.scratch = circuit.EvalGate(lp.c, g, lp.val, lp.prevClk, lp.scratch)
+		st.Evaluations++
+		if clkSample != lp.prevClk[g] {
+			if undo != nil {
+				undo.clks = append(undo.clks, valChange{g, lp.prevClk[g]})
+			}
+			lp.prevClk[g] = clkSample
+		}
+		if out == lp.projected[g] {
+			continue
+		}
+		if undo != nil {
+			undo.projs = append(undo.projs, valChange{g, lp.projected[g]})
+		}
+		lp.projected[g] = out
+		due := t + lp.c.Gates[g].Delay
+		lp.Schedule(due, g, out)
+		st.EventsScheduled++
+		// Remote consumers get one message per destination LP.
+		for i := range lp.dstSeen {
+			lp.dstSeen[i] = false
+		}
+		for _, dst := range lp.c.Fanout[g] {
+			db := lp.Owner[dst]
+			if db == lp.Self || lp.dstSeen[db] {
+				continue
+			}
+			lp.dstSeen[db] = true
+			lp.Send(db, due, g, out)
+			st.MessagesSent++
+		}
+	}
+}
+
+// StepParallel is Step with the evaluation phase fan-out across workers:
+// the dirty gates are split into contiguous chunks, each chunk's outputs
+// are computed concurrently (evaluation is pure, so this is race-free),
+// and the commit (state writes, scheduling, sends) runs serially in
+// deterministic order. It returns the largest chunk size, which is the
+// per-step critical path of the intra-cluster synchronous phase — the
+// quantity the hybrid engine's cost model needs.
+//
+// This is the paper's hierarchical synchronization: barrier-synchronous
+// evaluation inside a cluster, with whatever protocol the caller runs
+// between clusters.
+func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *Undo, st *stats.LPStats, workers int, outBuf, clkBuf []logic.Value) (maxChunk int) {
+	lp.epoch++
+	lp.dirty = lp.dirty[:0]
+	st.Steps++
+
+	for _, ev := range events {
+		st.EventsApplied++
+		if lp.val[ev.Gate] == ev.Value {
+			continue
+		}
+		if undo != nil {
+			undo.vals = append(undo.vals, valChange{ev.Gate, lp.val[ev.Gate]})
+		}
+		lp.val[ev.Gate] = ev.Value
+		if lp.Owner[ev.Gate] == lp.Self && lp.isWatched[ev.Gate] && lp.Record != nil {
+			lp.Record(t, ev.Gate, ev.Value)
+		}
+		for _, out := range lp.c.Fanout[ev.Gate] {
+			if lp.Owner[out] != lp.Self {
+				continue
+			}
+			if lp.stamp[out] != lp.epoch {
+				lp.stamp[out] = lp.epoch
+				lp.dirty = append(lp.dirty, out)
+			}
+		}
+	}
+	if initial {
+		lp.dirty = lp.dirty[:0]
+		for _, g := range lp.ownGates {
+			if !lp.c.Gates[g].Kind.Source() {
+				lp.dirty = append(lp.dirty, g)
+			}
+		}
+	}
+	if len(lp.dirty) == 0 {
+		return 0
+	}
+
+	// Parallel evaluation into the caller's buffers.
+	if workers > len(lp.dirty) {
+		workers = len(lp.dirty)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(lp.dirty) + workers - 1) / workers
+	maxChunk = chunk
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(lp.dirty) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(lp.dirty) {
+			hi = len(lp.dirty)
+		}
+		wg.Add(1)
+		go func(gs []circuit.GateID) {
+			defer wg.Done()
+			var scratch []logic.Value
+			for _, g := range gs {
+				out, cs, buf := circuit.EvalGate(lp.c, g, lp.val, lp.prevClk, scratch)
+				scratch = buf
+				outBuf[g] = out
+				clkBuf[g] = cs
+			}
+		}(lp.dirty[lo:hi])
+	}
+	wg.Wait()
+
+	// Serial commit in deterministic (dirty list) order.
+	for _, g := range lp.dirty {
+		st.Evaluations++
+		out, clkSample := outBuf[g], clkBuf[g]
+		if clkSample != lp.prevClk[g] {
+			if undo != nil {
+				undo.clks = append(undo.clks, valChange{g, lp.prevClk[g]})
+			}
+			lp.prevClk[g] = clkSample
+		}
+		if out == lp.projected[g] {
+			continue
+		}
+		if undo != nil {
+			undo.projs = append(undo.projs, valChange{g, lp.projected[g]})
+		}
+		lp.projected[g] = out
+		due := t + lp.c.Gates[g].Delay
+		lp.Schedule(due, g, out)
+		st.EventsScheduled++
+		for i := range lp.dstSeen {
+			lp.dstSeen[i] = false
+		}
+		for _, dst := range lp.c.Fanout[g] {
+			db := lp.Owner[dst]
+			if db == lp.Self || lp.dstSeen[db] {
+				continue
+			}
+			lp.dstSeen[db] = true
+			lp.Send(db, due, g, out)
+			st.MessagesSent++
+		}
+	}
+	return maxChunk
+}
+
+// Rollback undoes a sequence of steps by replaying their undo logs in
+// reverse order (most recent first).
+func (lp *LP) Rollback(undos []*Undo, st *stats.LPStats) {
+	for i := len(undos) - 1; i >= 0; i-- {
+		u := undos[i]
+		for j := len(u.projs) - 1; j >= 0; j-- {
+			lp.projected[u.projs[j].gate] = u.projs[j].old
+		}
+		for j := len(u.clks) - 1; j >= 0; j-- {
+			lp.prevClk[u.clks[j].gate] = u.clks[j].old
+		}
+		for j := len(u.vals) - 1; j >= 0; j-- {
+			lp.val[u.vals[j].gate] = u.vals[j].old
+		}
+		st.EventsRolledBack += uint64(len(u.vals))
+	}
+}
+
+// Snapshot copies the LP-relevant state (own gates and ghost nets) for
+// full-copy state saving. The returned slices are keyed by position in
+// relevant; Restore reverses it.
+type Snapshot struct {
+	val     []logic.Value
+	prevClk []logic.Value
+	proj    []logic.Value
+}
+
+// Words reports the snapshot volume in value-words.
+func (s *Snapshot) Words() uint64 {
+	return uint64(len(s.val) + len(s.prevClk) + len(s.proj))
+}
+
+// RelevantNets lists the nets whose state matters to this LP: its own
+// gates plus every remote net an owned gate reads.
+func (lp *LP) RelevantNets() []circuit.GateID {
+	seen := make(map[circuit.GateID]bool)
+	var nets []circuit.GateID
+	for _, g := range lp.ownGates {
+		if !seen[g] {
+			seen[g] = true
+			nets = append(nets, g)
+		}
+		for _, f := range lp.c.Gates[g].Fanin {
+			if !seen[f] {
+				seen[f] = true
+				nets = append(nets, f)
+			}
+		}
+	}
+	return nets
+}
+
+// TakeSnapshot captures the state of the given nets.
+func (lp *LP) TakeSnapshot(nets []circuit.GateID, into *Snapshot) {
+	into.val = resize(into.val, len(nets))
+	into.prevClk = resize(into.prevClk, len(nets))
+	into.proj = resize(into.proj, len(nets))
+	for i, g := range nets {
+		into.val[i] = lp.val[g]
+		into.prevClk[i] = lp.prevClk[g]
+		into.proj[i] = lp.projected[g]
+	}
+}
+
+// RestoreSnapshot writes a snapshot back.
+func (lp *LP) RestoreSnapshot(nets []circuit.GateID, s *Snapshot) {
+	for i, g := range nets {
+		lp.val[g] = s.val[i]
+		lp.prevClk[g] = s.prevClk[i]
+		lp.projected[g] = s.proj[i]
+	}
+}
+
+func resize(buf []logic.Value, n int) []logic.Value {
+	if cap(buf) < n {
+		return make([]logic.Value, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,216 @@
+// Package oblivious implements the compiled-mode, levelized simulator the
+// paper contrasts with event-driven techniques.
+//
+// The oblivious algorithm is not event driven at all: at every stimulus
+// boundary every gate is evaluated, whether or not its inputs changed,
+// which "completely eliminates the need for an event queue". Correctness
+// comes from schedule order alone — gates are evaluated level by level, so
+// each sees settled inputs ("components are evaluated after their input
+// values are known").
+//
+// The engine evaluates sequential elements first (flip-flops sample the
+// previous boundary's settled data, exactly what an event-driven run with
+// delays shorter than the clock half-period produces), then sweeps the
+// combinational levels in order. The parallel variant splits every level
+// across workers with a barrier per level, which is how SIMD and compiled
+// oblivious simulators of the period extracted parallelism.
+//
+// Timing semantics are cycle-based (zero-delay): the engine reports
+// settled values per stimulus boundary, not transient waveforms. The
+// activity-crossover experiment (E3) uses the evaluation counters of this
+// engine and the event-driven reference to reproduce the paper's claim
+// that oblivious wins at high activity and loses badly at low activity.
+package oblivious
+
+import (
+	"fmt"
+	gosync "sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Config parameterizes an oblivious run.
+type Config struct {
+	// System is the logic value system.
+	System logic.System
+	// Workers is the number of parallel evaluators per level; 0 or 1 runs
+	// serially.
+	Workers int
+	// Watch lists nets to sample at each boundary; nil watches outputs.
+	Watch []circuit.GateID
+	// Cost prices per-level work for the modeled critical path.
+	Cost stats.CostModel
+}
+
+// Result is the outcome of an oblivious run.
+type Result struct {
+	// Values holds the settled value of every net after the last boundary.
+	Values []logic.Value
+	// Waveform holds the settled values of watched nets sampled at each
+	// stimulus boundary where they changed.
+	Waveform trace.Waveform
+	// Cycles is the number of boundaries evaluated.
+	Cycles int
+	Stats  stats.RunStats
+}
+
+// Run evaluates the circuit at every stimulus boundary.
+func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error) {
+	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.NineValued
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+	st := c.ComputeStats()
+	if st.Latches > 0 {
+		return nil, fmt.Errorf("oblivious: transparent latches are not supported by cycle-based evaluation")
+	}
+	levels, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	val, prevClk := circuit.InitState(c, cfg.System)
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+
+	// Split levels: sequential gates live in the dedicated final level (by
+	// construction of Levelize) and are evaluated before the combinational
+	// sweep of each boundary.
+	var seqGates []circuit.GateID
+	combLevels := levels
+	if st.FlipFlops > 0 && len(levels) > 0 {
+		last := levels[len(levels)-1]
+		allSeq := true
+		for _, g := range last {
+			if !c.Gates[g].Kind.Sequential() {
+				allSeq = false
+			}
+		}
+		if allSeq {
+			seqGates = last
+			combLevels = levels[:len(levels)-1]
+		}
+	}
+
+	res := &Result{}
+	res.Stats.LPs = make([]stats.LPStats, cfg.Workers)
+	var rec trace.Recorder
+
+	// Group stimulus changes by boundary time.
+	type boundary struct {
+		t       circuit.Tick
+		changes []vectors.Change
+	}
+	var bounds []boundary
+	for _, ch := range stim.Changes {
+		if len(bounds) == 0 || bounds[len(bounds)-1].t != ch.Time {
+			bounds = append(bounds, boundary{t: ch.Time})
+		}
+		bounds[len(bounds)-1].changes = append(bounds[len(bounds)-1].changes, ch)
+	}
+
+	// evalSlice evaluates one contiguous chunk of a level into newVals.
+	newQ := make([]logic.Value, len(c.Gates))
+	newClk := make([]logic.Value, len(c.Gates))
+	evalSlice := func(w int, gates []circuit.GateID, scratch *[]logic.Value) {
+		for _, g := range gates {
+			out, cs, buf := circuit.EvalGate(c, g, val, prevClk, *scratch)
+			*scratch = buf
+			newQ[g] = out
+			newClk[g] = cs
+			res.Stats.LPs[w].Evaluations++
+		}
+	}
+	scratches := make([][]logic.Value, cfg.Workers)
+
+	// runLevel evaluates a level (in parallel when configured) and commits.
+	runLevel := func(gates []circuit.GateID) {
+		if cfg.Workers == 1 || len(gates) < 2*cfg.Workers {
+			evalSlice(0, gates, &scratches[0])
+		} else {
+			var wg gosync.WaitGroup
+			chunk := (len(gates) + cfg.Workers - 1) / cfg.Workers
+			for w := 0; w < cfg.Workers; w++ {
+				lo := w * chunk
+				if lo >= len(gates) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(gates) {
+					hi = len(gates)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					evalSlice(w, gates[lo:hi], &scratches[w])
+				}(w, lo, hi)
+			}
+			wg.Wait()
+		}
+		res.Stats.Barriers++
+		// Commit. Per-level worst-case chunk cost models the critical path.
+		maxChunk := len(gates)
+		if cfg.Workers > 1 {
+			maxChunk = (len(gates) + cfg.Workers - 1) / cfg.Workers
+		}
+		res.Stats.ModeledCritical += float64(maxChunk) * cfg.Cost.EvalCost
+		for _, g := range gates {
+			val[g] = newQ[g]
+			prevClk[g] = newClk[g]
+		}
+	}
+
+	for _, b := range bounds {
+		res.Cycles++
+		for _, ch := range b.changes {
+			val[ch.Input] = cfg.System.Project(ch.Value)
+		}
+		// Sequential elements sample the previous boundary's settled data
+		// before the combinational sweep recomputes it.
+		if len(seqGates) > 0 {
+			runLevel(seqGates)
+		}
+		for _, level := range combLevels {
+			runLevel(level)
+		}
+		for _, g := range watched {
+			rec.Record(b.t, g, val[g])
+		}
+	}
+
+	// Deduplicate the sampled waveform into genuine changes.
+	full := trace.Merge(&rec)
+	lastSeen := map[circuit.GateID]logic.Value{}
+	var wf trace.Waveform
+	for _, s := range full {
+		prev, ok := lastSeen[s.Gate]
+		if !ok {
+			prev = cfg.System.Project(circuit.InitialValue(c.Gates[s.Gate].Kind))
+		}
+		if s.Value != prev {
+			wf = append(wf, s)
+			lastSeen[s.Gate] = s.Value
+		}
+	}
+
+	res.Values = val
+	res.Waveform = wf
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}

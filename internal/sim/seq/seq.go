@@ -1,0 +1,273 @@
+// Package seq implements the sequential event-driven reference simulator.
+//
+// This is the classic single-queue gate-level simulator the paper takes as
+// the baseline that parallel techniques accelerate. It also defines the
+// semantics of the whole repository: every parallel engine is required to
+// produce exactly the waveform this engine produces, and the cross-engine
+// equivalence tests enforce that.
+//
+// Timestep semantics are two-phase: all net-value changes for the current
+// time are applied first, then every gate whose fanin changed is evaluated
+// exactly once against the settled values, and its output (if different
+// from the last value projected for the net) is scheduled one gate-delay
+// into the future. Because gate delays are >= 1 and evaluation is a pure
+// function, the result is independent of the order in which same-time
+// events are drawn from the queue — which is precisely what makes the
+// partitioned, parallel executions of the other engines comparable.
+//
+// The engine doubles as the paper's "pre-simulation" workload estimator:
+// with Profile enabled it counts evaluations per gate, and the partition
+// package uses those counts as load weights.
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Config parameterizes a sequential run.
+type Config struct {
+	// System is the logic value system used to initialize state.
+	System logic.System
+	// Queue selects the pending-event set implementation.
+	Queue eventq.Impl
+	// Watch lists the nets to record in the waveform; nil watches the
+	// primary outputs.
+	Watch []circuit.GateID
+	// Profile enables per-gate evaluation counting (pre-simulation).
+	Profile bool
+	// CriticalPath enables critical-path analysis: alongside the normal
+	// run, every event's completion time is computed on a hypothetical
+	// machine with unlimited processors and zero communication cost, where
+	// an evaluation may start as soon as the latest change of any net it
+	// reads has completed. The resulting makespan is the data-dependency
+	// lower bound on parallel execution time — the "ideal parallelism" of
+	// the workload that no synchronization algorithm can beat.
+	CriticalPath bool
+	// Cost prices critical-path work; the zero value uses the default
+	// model.
+	Cost stats.CostModel
+	// MaxEvents aborts runaway simulations (oscillators); 0 means no limit.
+	MaxEvents uint64
+}
+
+// Stats counts the work a run performed.
+type Stats struct {
+	// EventsApplied is the number of net value changes committed.
+	EventsApplied uint64
+	// Evaluations is the number of gate evaluations performed.
+	Evaluations uint64
+	// EventsScheduled is the number of future events enqueued.
+	EventsScheduled uint64
+	// Timesteps is the number of distinct simulated times processed.
+	Timesteps uint64
+	// EvalsByGate holds per-gate evaluation counts when profiling.
+	EvalsByGate []uint64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Values holds the final value of every net.
+	Values []logic.Value
+	// Waveform is the committed change history of the watched nets.
+	Waveform trace.Waveform
+	// EndTime is the last simulated time processed.
+	EndTime circuit.Tick
+	// CriticalPath is the data-dependency makespan in model nanoseconds
+	// (0 unless Config.CriticalPath was set).
+	CriticalPath float64
+	Stats        Stats
+}
+
+// event is a scheduled net value change. compl carries the event's
+// completion time on the ideal machine when critical-path analysis is on.
+type event struct {
+	gate  circuit.GateID
+	value logic.Value
+	compl float64
+}
+
+// Run simulates c under the stimulus until the given time (inclusive).
+// Events scheduled beyond the horizon are discarded unprocessed.
+func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Config) (*Result, error) {
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.NineValued
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+
+	val, prevClk := circuit.InitState(c, cfg.System)
+	projected := make([]logic.Value, len(val))
+	copy(projected, val)
+
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+	isWatched := make([]bool, len(c.Gates))
+	for _, g := range watched {
+		isWatched[g] = true
+	}
+
+	q := eventq.New[event](cfg.Queue)
+	for _, ch := range stim.Changes {
+		if ch.Time > until {
+			continue
+		}
+		q.Push(uint64(ch.Time), event{gate: ch.Input, value: cfg.System.Project(ch.Value)})
+		projected[ch.Input] = cfg.System.Project(ch.Value)
+	}
+
+	res := &Result{}
+	if cfg.Profile {
+		res.Stats.EvalsByGate = make([]uint64, len(c.Gates))
+	}
+	var rec trace.Recorder
+
+	// Critical-path state: lastCompl[g] is the ideal-machine completion
+	// time of net g's most recent change.
+	var lastCompl []float64
+	if cfg.CriticalPath {
+		lastCompl = make([]float64, len(c.Gates))
+	}
+	// evalStep is the ideal cost of one apply-evaluate-schedule unit.
+	evalStep := cfg.Cost.EvalCost + 2*cfg.Cost.EventCost
+
+	// dirty tracking: stamp[g] == epoch marks g already queued this step.
+	stamp := make([]uint64, len(c.Gates))
+	var epoch uint64
+	var dirty []circuit.GateID
+	var scratch []logic.Value
+	var endTime circuit.Tick
+	var totalEvents uint64
+
+	// step processes one timestep: apply all queued changes at time t, then
+	// evaluate each affected gate once. When initial is set every non-source
+	// gate is evaluated regardless of input changes — the time-zero settling
+	// pass that establishes correct steady state from the initial values.
+	step := func(t circuit.Tick, initial bool) error {
+		epoch++
+		res.Stats.Timesteps++
+		endTime = t
+		dirty = dirty[:0]
+
+		// Phase 1: apply all value changes for time t.
+		for {
+			pt, ok := q.PeekTime()
+			if !ok || circuit.Tick(pt) != t {
+				break
+			}
+			_, ev, _ := q.PopMin()
+			totalEvents++
+			if cfg.MaxEvents > 0 && totalEvents > cfg.MaxEvents {
+				return fmt.Errorf("seq: event limit %d exceeded at time %d (oscillation?)", cfg.MaxEvents, t)
+			}
+			if val[ev.gate] == ev.value {
+				continue
+			}
+			val[ev.gate] = ev.value
+			if lastCompl != nil {
+				lastCompl[ev.gate] = ev.compl
+			}
+			res.Stats.EventsApplied++
+			if isWatched[ev.gate] {
+				rec.Record(t, ev.gate, ev.value)
+			}
+			for _, out := range c.Fanout[ev.gate] {
+				if stamp[out] != epoch {
+					stamp[out] = epoch
+					dirty = append(dirty, out)
+				}
+			}
+		}
+		if initial {
+			dirty = dirty[:0]
+			for id := range c.Gates {
+				if !c.Gates[id].Kind.Source() {
+					dirty = append(dirty, circuit.GateID(id))
+				}
+			}
+		}
+
+		// Phase 2: evaluate affected gates against the settled values.
+		for _, g := range dirty {
+			var out, clkSample logic.Value
+			out, clkSample, scratch = circuit.EvalGate(c, g, val, prevClk, scratch)
+			prevClk[g] = clkSample
+			res.Stats.Evaluations++
+			if cfg.Profile {
+				res.Stats.EvalsByGate[g]++
+			}
+			var compl float64
+			if lastCompl != nil {
+				// The evaluation may start once every net it reads (and its
+				// own output, whose previous value it extends) is final.
+				dep := lastCompl[g]
+				for _, f := range c.Gates[g].Fanin {
+					if lastCompl[f] > dep {
+						dep = lastCompl[f]
+					}
+				}
+				compl = dep + evalStep
+				if compl > res.CriticalPath {
+					res.CriticalPath = compl
+				}
+			}
+			if out == projected[g] {
+				continue
+			}
+			projected[g] = out
+			q.Push(uint64(t+c.Gates[g].Delay), event{gate: g, value: out, compl: compl})
+			res.Stats.EventsScheduled++
+		}
+		return nil
+	}
+
+	if err := step(0, true); err != nil {
+		return nil, err
+	}
+	for q.Len() > 0 {
+		t64, _ := q.PeekTime()
+		t := circuit.Tick(t64)
+		if t > until {
+			break
+		}
+		if err := step(t, false); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Values = val
+	res.Waveform = trace.Merge(&rec)
+	res.EndTime = endTime
+	return res, nil
+}
+
+// Horizon suggests a simulation end time for a stimulus: the stimulus end
+// plus a settling margin of the circuit's combinational depth times its
+// maximum gate delay (enough for the last vector to propagate to the
+// outputs through any path, plus slack for sequential feedback).
+func Horizon(c *circuit.Circuit, stim *vectors.Stimulus) circuit.Tick {
+	depth := circuit.Tick(1)
+	if levels, err := c.Levelize(); err == nil {
+		depth = circuit.Tick(len(levels) + 2)
+	}
+	max := c.MaxDelay()
+	if max == 0 {
+		max = 1
+	}
+	return stim.End + 4*depth*max
+}

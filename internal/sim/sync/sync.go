@@ -1,0 +1,430 @@
+// Package sync implements the synchronous (global-clock) parallel engine.
+//
+// All logical processes share one value of simulated time. Each global
+// timestep runs in two barrier-separated phases mirroring the two-phase
+// semantics of the sequential reference: phase A applies every net change
+// scheduled for the current time and routes dirty-gate notifications to the
+// owners of the fanout gates (the cross-LP notifications are the
+// "messages" of the paper's model — here carried through shared memory,
+// but counted and priced as messages by the cost model); phase B evaluates
+// each affected gate exactly once against the settled values and schedules
+// the outputs into the owner's local pending set. The coordinator then
+// reduces the per-LP minima to find the next global time.
+//
+// The engine records Σ_steps max_LP(step work) as the modeled critical
+// path, and two barriers per step, which is exactly where the paper says
+// the synchronous algorithm's scaling limit lives: barrier time grows with
+// the processor population while per-step useful work per LP shrinks.
+package sync
+
+import (
+	"fmt"
+	"sort"
+	gosync "sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Config parameterizes a synchronous run.
+type Config struct {
+	// Partition assigns gates to LPs; required.
+	Partition *partition.Partition
+	// System is the logic value system.
+	System logic.System
+	// Queue selects each LP's pending-event set implementation.
+	Queue eventq.Impl
+	// Watch lists nets to record; nil watches primary outputs.
+	Watch []circuit.GateID
+	// Cost prices per-step work for the modeled critical path; zero value
+	// uses the default model.
+	Cost stats.CostModel
+	// MaxEvents aborts runaway simulations; 0 means no limit.
+	MaxEvents uint64
+	// Rebalance enables dynamic load balancing, the Section VI proposal
+	// "dynamic load balancing is being considered to react to variations
+	// in computational workload": between global steps, gates migrate from
+	// the most-loaded LP (by evaluations in the last window) to the least
+	// loaded. Migration is cheap in the shared-memory synchronous engine —
+	// only the ownership map changes — but each moved gate is priced as a
+	// state-transfer message on both sides.
+	Rebalance RebalanceConfig
+}
+
+// RebalanceConfig parameterizes dynamic load balancing.
+type RebalanceConfig struct {
+	// Interval is the number of global steps between rebalancing
+	// episodes; 0 disables dynamic balancing.
+	Interval uint64
+	// Fraction is the largest share of the hottest LP's recent load moved
+	// per episode (default 0.25).
+	Fraction float64
+}
+
+// Result is the outcome of a synchronous run.
+type Result struct {
+	Values   []logic.Value
+	Waveform trace.Waveform
+	EndTime  circuit.Tick
+	Stats    stats.RunStats
+	// Migrations counts gates moved by dynamic load balancing.
+	Migrations uint64
+}
+
+// event is a scheduled net change local to one LP.
+type event struct {
+	gate  circuit.GateID
+	value logic.Value
+}
+
+// lp is one logical process worker.
+type lp struct {
+	id      int
+	gates   []circuit.GateID
+	q       eventq.Queue[event]
+	dirty   []circuit.GateID
+	stamp   []uint64
+	scratch []logic.Value
+	rec     trace.Recorder
+	st      stats.LPStats
+	// outbox[dst] accumulates dirty-gate notifications for LP dst during
+	// phase A; dst drains it in phase B. Only the owner writes, only dst
+	// reads, and the phases are barrier-separated.
+	outbox [][]circuit.GateID
+	// phaseWork accumulates this phase's work in model nanoseconds.
+	phaseWork float64
+}
+
+// Run simulates c under the stimulus until the given time (inclusive).
+func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Config) (*Result, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("sync: Config.Partition is required")
+	}
+	if err := cfg.Partition.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.NineValued
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+	start := time.Now()
+
+	p := cfg.Partition
+	numLPs := p.Blocks
+	owner := p.Assign
+
+	val, prevClk := circuit.InitState(c, cfg.System)
+	projected := make([]logic.Value, len(val))
+	copy(projected, val)
+
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+	isWatched := make([]bool, len(c.Gates))
+	for _, g := range watched {
+		isWatched[g] = true
+	}
+
+	// Dynamic balancing mutates a private copy of the ownership map and
+	// tracks per-gate evaluation counts within the current window.
+	rebalancing := cfg.Rebalance.Interval > 0
+	if rebalancing {
+		owner = append([]int(nil), owner...)
+		if cfg.Rebalance.Fraction <= 0 {
+			cfg.Rebalance.Fraction = 0.25
+		}
+	}
+	var windowEvals []uint32
+	if rebalancing {
+		windowEvals = make([]uint32, len(c.Gates))
+	}
+	var migrations uint64
+
+	lps := make([]*lp, numLPs)
+	blockGates := p.BlockGates()
+	for i := range lps {
+		lps[i] = &lp{
+			id:     i,
+			gates:  blockGates[i],
+			q:      eventq.New[event](cfg.Queue),
+			stamp:  make([]uint64, len(c.Gates)),
+			outbox: make([][]circuit.GateID, numLPs),
+		}
+	}
+	for _, ch := range stim.Changes {
+		if ch.Time > until {
+			continue
+		}
+		lps[owner[ch.Input]].q.Push(uint64(ch.Time), event{ch.Input, cfg.System.Project(ch.Value)})
+	}
+
+	var epoch uint64
+	var totalEvents atomic.Uint64
+	run := &Result{}
+
+	// phaseA applies this LP's events at time t and routes notifications.
+	phaseA := func(l *lp, t circuit.Tick) {
+		l.phaseWork = 0
+		for {
+			pt, ok := l.q.PeekTime()
+			if !ok || circuit.Tick(pt) != t {
+				break
+			}
+			_, ev, _ := l.q.PopMin()
+			totalEvents.Add(1)
+			l.st.EventsApplied++
+			l.phaseWork += cfg.Cost.EventCost
+			if val[ev.gate] == ev.value {
+				continue
+			}
+			val[ev.gate] = ev.value
+			if isWatched[ev.gate] {
+				l.rec.Record(t, ev.gate, ev.value)
+			}
+			for _, out := range c.Fanout[ev.gate] {
+				dst := owner[out]
+				l.outbox[dst] = append(l.outbox[dst], out)
+				if dst != l.id {
+					l.st.MessagesSent++
+					l.phaseWork += cfg.Cost.MsgCost
+				}
+			}
+		}
+	}
+
+	// phaseB drains notifications and evaluates affected gates.
+	phaseB := func(l *lp, t circuit.Tick, initial bool) {
+		l.phaseWork = 0
+		l.dirty = l.dirty[:0]
+		if initial {
+			// Every local gate is evaluated regardless of notifications,
+			// but the notifications were still delivered: account for the
+			// receive side so the message counters stay paired.
+			for _, src := range lps {
+				for range src.outbox[l.id] {
+					if src.id != l.id {
+						l.st.MessagesRecv++
+						l.phaseWork += cfg.Cost.MsgCost
+					}
+				}
+			}
+			for _, g := range l.gates {
+				if !c.Gates[g].Kind.Source() {
+					l.dirty = append(l.dirty, g)
+				}
+			}
+		} else {
+			for _, src := range lps {
+				inbox := src.outbox[l.id]
+				for _, g := range inbox {
+					if src.id != l.id {
+						// Count the receive side of the notification.
+						l.st.MessagesRecv++
+						l.phaseWork += cfg.Cost.MsgCost
+					}
+					if l.stamp[g] != epoch {
+						l.stamp[g] = epoch
+						l.dirty = append(l.dirty, g)
+					}
+				}
+			}
+		}
+		for _, g := range l.dirty {
+			var out, clkSample logic.Value
+			out, clkSample, l.scratch = circuit.EvalGate(c, g, val, prevClk, l.scratch)
+			prevClk[g] = clkSample
+			l.st.Evaluations++
+			if rebalancing {
+				windowEvals[g]++
+			}
+			l.phaseWork += cfg.Cost.EvalCost
+			if out == projected[g] {
+				continue
+			}
+			projected[g] = out
+			l.q.Push(uint64(t+c.Gates[g].Delay), event{g, out})
+			l.st.EventsScheduled++
+			l.phaseWork += cfg.Cost.EventCost
+		}
+		l.st.Steps++
+	}
+
+	// runPhase executes one phase on every LP concurrently and waits for
+	// all of them — the global barrier, priced by the cost model. Phases
+	// use the fork-join goroutine pattern: each LP's work is independent
+	// within a phase (owner-only writes, barrier-separated reads).
+	runPhase := func(t circuit.Tick, phase int) {
+		var pw gosync.WaitGroup
+		for _, l := range lps {
+			pw.Add(1)
+			go func(l *lp) {
+				defer pw.Done()
+				switch phase {
+				case 0:
+					phaseA(l, t)
+				case 1:
+					phaseB(l, t, false)
+				case 2:
+					phaseB(l, t, true)
+				}
+			}(l)
+		}
+		pw.Wait()
+		run.Stats.Barriers++
+		var max float64
+		for _, l := range lps {
+			if l.phaseWork > max {
+				max = l.phaseWork
+			}
+		}
+		run.Stats.ModeledCritical += max
+	}
+
+	clearOutboxes := func() {
+		for _, l := range lps {
+			for d := range l.outbox {
+				l.outbox[d] = l.outbox[d][:0]
+			}
+		}
+	}
+
+	// rebalance migrates the hottest gates of the most loaded LP (by
+	// window evaluations) to the least loaded LP. It runs between steps,
+	// when no phase goroutines are live, so mutating the ownership map is
+	// safe; pending events stay in the queue that scheduled them (applying
+	// a net change does not require ownership — only evaluation routing
+	// does, and that always consults the current map).
+	rebalance := func() {
+		loads := make([]uint64, numLPs)
+		for g, o := range owner {
+			loads[o] += uint64(windowEvals[g])
+		}
+		var total uint64
+		for _, l := range loads {
+			total += l
+		}
+		if total == 0 {
+			return
+		}
+		avg := total / uint64(numLPs)
+		// Drain each over-average LP toward the currently coldest one, one
+		// pass per LP at most; gates with the highest recent activity move
+		// first so few migrations shift a lot of load.
+		type hg struct {
+			g circuit.GateID
+			n uint32
+		}
+		for pass := 0; pass < numLPs; pass++ {
+			hot, cold := 0, 0
+			for i, l := range loads {
+				if l > loads[hot] {
+					hot = i
+				}
+				if l < loads[cold] {
+					cold = i
+				}
+			}
+			if hot == cold || loads[hot] <= avg+avg/10 {
+				break
+			}
+			var cands []hg
+			for g, o := range owner {
+				if o == hot && windowEvals[g] > 0 && !c.Gates[g].Kind.Source() {
+					cands = append(cands, hg{circuit.GateID(g), windowEvals[g]})
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].n > cands[j].n })
+			budget := uint64(float64(loads[hot]-avg) * 4 * cfg.Rebalance.Fraction)
+			if over := loads[hot] - avg; over < budget {
+				budget = over
+			}
+			if headroom := avg - loads[cold]; headroom < budget {
+				budget = headroom
+			}
+			var moved uint64
+			for _, cand := range cands {
+				if moved >= budget {
+					break
+				}
+				owner[cand.g] = cold
+				moved += uint64(cand.n)
+				migrations++
+				// Price the state transfer on both sides.
+				lps[hot].st.MessagesSent++
+				lps[cold].st.MessagesRecv++
+			}
+			loads[hot] -= moved
+			loads[cold] += moved
+			if moved == 0 {
+				break
+			}
+		}
+		clear(windowEvals)
+	}
+
+	// Time-zero settling step: apply t=0 stimulus, then evaluate all gates.
+	epoch++
+	runPhase(0, 0)
+	runPhase(0, 2)
+	clearOutboxes()
+	var endTime circuit.Tick
+	var stepsSinceRebalance uint64
+
+	for {
+		// Reduce the next global time across LP queues.
+		var next uint64
+		have := false
+		for _, l := range lps {
+			if pt, ok := l.q.PeekTime(); ok && (!have || pt < next) {
+				next, have = pt, true
+			}
+		}
+		if !have || circuit.Tick(next) > until {
+			break
+		}
+		if cfg.MaxEvents > 0 && totalEvents.Load() > cfg.MaxEvents {
+			return nil, fmt.Errorf("sync: event limit %d exceeded at time %d", cfg.MaxEvents, next)
+		}
+		t := circuit.Tick(next)
+		endTime = t
+		epoch++
+		runPhase(t, 0)
+		runPhase(t, 1)
+		clearOutboxes()
+		if rebalancing {
+			stepsSinceRebalance++
+			if stepsSinceRebalance >= cfg.Rebalance.Interval {
+				stepsSinceRebalance = 0
+				rebalance()
+			}
+		}
+	}
+
+	run.Values = val
+	recs := make([]*trace.Recorder, numLPs)
+	for i, l := range lps {
+		recs[i] = &l.rec
+		run.Stats.LPs = append(run.Stats.LPs, l.st)
+	}
+	run.Waveform = trace.Merge(recs...)
+	run.EndTime = endTime
+	run.Migrations = migrations
+	run.Stats.Wall = time.Since(start)
+	return run, nil
+}

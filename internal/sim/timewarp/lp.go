@@ -1,0 +1,462 @@
+package timewarp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/sim/kernel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// qevent is one pending input event. Every event carries a globally unique
+// id so anti-messages can annihilate their originals and rollbacks can
+// retract internally scheduled events.
+type qevent struct {
+	gate  circuit.GateID
+	value logic.Value
+	id    uint64
+}
+
+// sentRec remembers one transmitted message for later cancellation.
+type sentRec struct {
+	dst   int
+	id    uint64
+	time  circuit.Tick
+	gate  circuit.GateID
+	value logic.Value
+}
+
+// step is the saved history of one executed timestep: everything needed to
+// undo it (state log or snapshot), re-execute it (consumed inputs), and
+// cancel its effects (sent messages, created internal events).
+type step struct {
+	time    circuit.Tick
+	inputs  []qevent
+	undo    *kernel.Undo     // incremental state saving
+	snap    *kernel.Snapshot // full-copy state saving (state before the step)
+	sent    []sentRec
+	created []uint64
+}
+
+// lazyRec is a message awaiting lazy cancellation: sent by a rolled-back
+// step, to be annihilated only if re-execution does not regenerate it.
+type lazyRec struct {
+	sentRec
+	createdAt circuit.Tick
+}
+
+// tlp is one Time Warp logical process.
+type tlp struct {
+	id  int
+	sh  *shared
+	cfg Config
+	k   *kernel.LP
+	q   eventq.Queue[qevent]
+	rec trace.Recorder
+	st  stats.LPStats
+
+	lvt         circuit.Tick
+	gvt         circuit.Tick // last observed GVT
+	fossilFloor circuit.Tick // history below this time has been collected
+	steps       []*step
+	dead        map[uint64]bool
+	lazyPending []lazyRec
+	seq         uint64
+	relevant    []circuit.GateID
+
+	initialEvents []kernel.Event
+	curStep       *step
+	handledSince  uint64
+	buf           []msg
+	evs           []qevent
+	kevs          []kernel.Event
+
+	// Hybrid-mode intra-cluster buffers and accounting.
+	outBuf   []logic.Value
+	clkBuf   []logic.Value
+	critEval float64
+}
+
+func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
+	l := &tlp{
+		id:   id,
+		sh:   sh,
+		cfg:  cfg,
+		k:    k,
+		q:    eventq.New[qevent](cfg.Queue),
+		dead: map[uint64]bool{},
+	}
+	if cfg.StateSaving == FullCopy {
+		l.relevant = k.RelevantNets()
+	}
+	if cfg.IntraWorkers > 1 {
+		l.outBuf = make([]logic.Value, sh.c.NumGates())
+		l.clkBuf = make([]logic.Value, sh.c.NumGates())
+	}
+	k.Schedule = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
+		ev := qevent{gate: g, value: v, id: l.newID()}
+		l.q.Push(uint64(t), ev)
+		if l.curStep != nil {
+			l.curStep.created = append(l.curStep.created, ev.id)
+		}
+	}
+	k.Send = func(dst int, t circuit.Tick, g circuit.GateID, v logic.Value) {
+		if l.cfg.Cancellation == Lazy && len(l.lazyPending) > 0 {
+			// Lazy cancellation: a regenerated message equal to one already
+			// delivered is suppressed — the receiver's copy stays valid —
+			// but it keeps its original id so this step's own rollback can
+			// still cancel it. A match implies this step is a re-execution
+			// of the pending record's originating step: equal message times
+			// and gates force equal creation times.
+			for i, p := range l.lazyPending {
+				if p.dst == dst && p.time == t && p.gate == g && p.value == v {
+					l.lazyPending = append(l.lazyPending[:i], l.lazyPending[i+1:]...)
+					l.curStep.sent = append(l.curStep.sent, p.sentRec)
+					return
+				}
+			}
+		}
+		rec := sentRec{dst: dst, id: l.newID(), time: t, gate: g, value: v}
+		l.curStep.sent = append(l.curStep.sent, rec)
+		l.sh.transit.Add(1)
+		l.sh.inboxes[dst].Put(msg{kind: msgValue, from: l.id, id: rec.id, time: t, gate: g, value: v})
+	}
+	k.Record = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
+		l.rec.Record(t, g, v)
+	}
+	return l
+}
+
+// newID mints a run-unique event/message id.
+func (l *tlp) newID() uint64 {
+	l.seq++
+	return uint64(l.id)<<40 | l.seq
+}
+
+// nextLive returns the earliest non-annihilated pending event time,
+// discarding annihilated entries it passes over.
+func (l *tlp) nextLive() circuit.Tick {
+	for {
+		t, v, ok := l.q.Peek()
+		if !ok {
+			return infTick
+		}
+		if l.dead[v.id] {
+			l.q.PopMin()
+			delete(l.dead, v.id)
+			continue
+		}
+		return circuit.Tick(t)
+	}
+}
+
+// popBatch removes all live events at exactly time t.
+func (l *tlp) popBatch(t circuit.Tick) []qevent {
+	l.evs = l.evs[:0]
+	for {
+		pt, v, ok := l.q.Peek()
+		if !ok || circuit.Tick(pt) != t {
+			break
+		}
+		l.q.PopMin()
+		if l.dead[v.id] {
+			delete(l.dead, v.id)
+			continue
+		}
+		l.evs = append(l.evs, v)
+	}
+	return l.evs
+}
+
+// execStep speculatively executes the events at time t.
+func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
+	s := &step{time: t, inputs: append([]qevent(nil), events...)}
+	l.kevs = l.kevs[:0]
+	for _, ev := range events {
+		l.kevs = append(l.kevs, kernel.Event{Gate: ev.gate, Value: ev.value})
+	}
+	if !initial && l.cfg.StateSaving == FullCopy {
+		s.snap = &kernel.Snapshot{}
+		l.k.TakeSnapshot(l.relevant, s.snap)
+		l.st.StateSaves++
+		l.st.StateSavedWords += s.snap.Words()
+	}
+	l.curStep = s
+	var undo *kernel.Undo
+	if !initial && l.cfg.StateSaving == Incremental {
+		undo = &kernel.Undo{}
+		s.undo = undo
+	}
+	if l.cfg.IntraWorkers > 1 {
+		maxChunk := l.k.StepParallel(t, l.kevs, initial, undo, &l.st, l.cfg.IntraWorkers, l.outBuf, l.clkBuf)
+		l.critEval += float64(maxChunk)*l.cfg.Cost.EvalCost + l.cfg.Cost.Barrier(l.cfg.IntraWorkers)
+	} else {
+		l.k.Step(t, l.kevs, initial, undo, &l.st)
+	}
+	if undo != nil {
+		l.st.StateSaves++
+		l.st.StateSavedWords += undo.Words()
+	}
+	l.curStep = nil
+	if !initial {
+		l.steps = append(l.steps, s)
+	}
+	l.lvt = t
+	// Lazy messages from steps at or before t that re-execution did not
+	// regenerate are now provably wrong: cancel them.
+	l.cancelLazyThrough(t)
+}
+
+// execInitial runs the time-zero settling step (never rolled back: all
+// cross-LP messages carry times >= 1, so no straggler can target time 0).
+func (l *tlp) execInitial() {
+	s := &step{time: 0}
+	l.curStep = s
+	l.k.Step(0, l.initialEvents, true, nil, &l.st)
+	l.curStep = nil
+	l.lvt = 0
+}
+
+// rollback restores the LP to just before the earliest step at or after ts
+// and schedules that history for re-execution.
+func (l *tlp) rollback(ts circuit.Tick) {
+	idx := sort.Search(len(l.steps), func(i int) bool { return l.steps[i].time >= ts })
+	if idx == len(l.steps) {
+		return
+	}
+	if l.steps[idx].time < l.fossilFloor {
+		l.sh.fail(fmt.Errorf("timewarp: LP %d rollback to %d below GVT %d", l.id, ts, l.fossilFloor))
+		return
+	}
+	suffix := l.steps[idx:]
+	l.st.Rollbacks++
+
+	// Restore state.
+	if l.cfg.StateSaving == FullCopy {
+		l.k.RestoreSnapshot(l.relevant, suffix[0].snap)
+		for _, s := range suffix {
+			l.st.EventsRolledBack += uint64(len(s.inputs))
+		}
+	} else {
+		undos := make([]*kernel.Undo, len(suffix))
+		for i, s := range suffix {
+			undos[i] = s.undo
+		}
+		l.k.Rollback(undos, &l.st)
+	}
+
+	// Retract internally scheduled events and cancel sent messages.
+	for _, s := range suffix {
+		for _, id := range s.created {
+			l.dead[id] = true
+		}
+		for _, sr := range s.sent {
+			if l.cfg.Cancellation == Lazy {
+				l.lazyPending = append(l.lazyPending, lazyRec{sentRec: sr, createdAt: s.time})
+			} else {
+				l.sendAnti(sr)
+			}
+		}
+	}
+	// Requeue the rolled-back inputs (except ones just retracted or
+	// previously annihilated).
+	l.q.ResetFloor()
+	for _, s := range suffix {
+		for _, in := range s.inputs {
+			if l.dead[in.id] {
+				delete(l.dead, in.id)
+				continue
+			}
+			l.q.Push(uint64(s.time), in)
+		}
+	}
+	l.rec.TruncateFrom(suffix[0].time)
+	l.steps = l.steps[:idx]
+	if idx > 0 {
+		l.lvt = l.steps[idx-1].time
+	} else {
+		l.lvt = 0
+	}
+}
+
+// sendAnti transmits an anti-message for a previously sent message.
+func (l *tlp) sendAnti(sr sentRec) {
+	l.st.AntiMessagesSent++
+	l.sh.transit.Add(1)
+	l.sh.inboxes[sr.dst].Put(msg{kind: msgAnti, from: l.id, id: sr.id, time: sr.time, gate: sr.gate, value: sr.value})
+}
+
+// cancelLazyThrough cancels pending lazy messages whose originating step
+// time is <= t: the LP has re-executed past them without regenerating.
+func (l *tlp) cancelLazyThrough(t circuit.Tick) {
+	if len(l.lazyPending) == 0 {
+		return
+	}
+	kept := l.lazyPending[:0]
+	for _, p := range l.lazyPending {
+		if p.createdAt <= t {
+			l.sendAnti(p.sentRec)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	l.lazyPending = kept
+}
+
+// flushLazyBelowNext cancels pending lazy messages whose originating step
+// cannot re-execute with the current queue contents (no pending event at
+// or before their creation time). Slightly eager — a future straggler
+// could have re-created the step — but cancellation is always safe, and
+// this guarantees no wrong message survives quiescence.
+func (l *tlp) flushLazyBelowNext() {
+	if len(l.lazyPending) == 0 {
+		return
+	}
+	next := l.nextLive()
+	kept := l.lazyPending[:0]
+	for _, p := range l.lazyPending {
+		if p.createdAt < next {
+			l.sendAnti(p.sentRec)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	l.lazyPending = kept
+}
+
+// localMin is this LP's contribution to GVT: the earliest live unprocessed
+// event, lower-bounded by any still-pending lazy cancellation (whose
+// eventual anti-message may roll the destination back to that time).
+func (l *tlp) localMin() circuit.Tick {
+	m := l.nextLive()
+	for _, p := range l.lazyPending {
+		if p.time < m {
+			m = p.time
+		}
+	}
+	return m
+}
+
+// fossilCollect frees history strictly older than the new GVT.
+func (l *tlp) fossilCollect(gvt circuit.Tick) {
+	l.gvt = gvt
+	l.fossilFloor = gvt
+	idx := sort.Search(len(l.steps), func(i int) bool { return l.steps[i].time >= gvt })
+	if idx > 0 {
+		l.steps = append([]*step(nil), l.steps[idx:]...)
+	}
+}
+
+// handle processes one inbound message; it returns false on terminate.
+func (l *tlp) handle(m msg) bool {
+	switch m.kind {
+	case msgValue:
+		l.sh.transit.Add(-1)
+		l.st.MessagesRecv++
+		l.handledSince++
+		if m.time < l.fossilFloor {
+			l.sh.fail(fmt.Errorf("timewarp: LP %d received message at %d below GVT %d", l.id, m.time, l.fossilFloor))
+			return false
+		}
+		if m.time <= l.lvt {
+			l.rollback(m.time)
+		}
+		l.q.ResetFloor()
+		l.q.Push(uint64(m.time), qevent{gate: m.gate, value: m.value, id: m.id})
+	case msgAnti:
+		l.sh.transit.Add(-1)
+		l.st.AntiMessagesRecv++
+		l.handledSince++
+		if m.time < l.fossilFloor {
+			l.sh.fail(fmt.Errorf("timewarp: LP %d received anti-message at %d below GVT %d", l.id, m.time, l.fossilFloor))
+			return false
+		}
+		if m.time <= l.lvt {
+			l.rollback(m.time)
+		}
+		// The original is now unprocessed (FIFO per link guarantees it
+		// arrived first; if it had been processed, the rollback above just
+		// requeued it). Tombstone it.
+		l.dead[m.id] = true
+	case msgGVTRound:
+		l.sh.replies <- gvtReply{handled: l.handledSince, localMin: l.localMin()}
+		l.handledSince = 0
+	case msgGVTDone:
+		l.fossilCollect(m.time)
+	case msgTerminate:
+		return false
+	}
+	return true
+}
+
+// handleAll processes a batch; it returns false on terminate.
+func (l *tlp) handleAll(batch []msg) bool {
+	for _, m := range batch {
+		if !l.handle(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the LP goroutine body.
+func (l *tlp) run() {
+	l.execInitial()
+	for {
+		if l.sh.abort.Load() {
+			return
+		}
+		l.buf = l.sh.inboxes[l.id].TryDrain(l.buf[:0])
+		if !l.handleAll(l.buf) {
+			return
+		}
+		if l.sh.paused.Load() {
+			// Processing is frozen during GVT computation; keep serving
+			// rounds until released.
+			var ok bool
+			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
+			if !ok || !l.handleAll(l.buf) {
+				return
+			}
+			continue
+		}
+		t := l.nextLive()
+		blocked := t == infTick || t > l.sh.until ||
+			(l.cfg.Window > 0 && l.gvt < infTick-l.cfg.Window && t > l.gvt+l.cfg.Window)
+		if blocked {
+			// Nothing executable: flush provably wrong lazy sends, then
+			// sleep until messages (or a GVT round) arrive.
+			l.st.Blocks++
+			l.flushLazyBelowNext()
+			l.sh.idle.Add(1)
+			var ok bool
+			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
+			l.sh.idle.Add(-1)
+			if !ok || !l.handleAll(l.buf) {
+				return
+			}
+			continue
+		}
+		events := l.popBatch(t)
+		if len(events) == 0 {
+			continue
+		}
+		processed := l.sh.events.Add(uint64(len(events)))
+		if max := l.sh.cfg.MaxEvents; max > 0 && processed > max {
+			l.sh.fail(fmt.Errorf("timewarp: event limit %d exceeded at time %d", max, t))
+			return
+		}
+		l.execStep(t, events, false)
+		// Yield between speculative steps. Without this, a single-core
+		// scheduler lets one LP race arbitrarily far ahead before its
+		// neighbours run at all, and the eventual stragglers roll back
+		// nearly everything — optimism thrash that exists only as a
+		// scheduling artifact.
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,369 @@
+// Package timewarp implements optimistic asynchronous simulation with the
+// Time Warp mechanism of Jefferson.
+//
+// Logical processes execute events speculatively, as soon as they are
+// available, with no safety check. Causality is repaired after the fact: a
+// straggler message older than the local clock triggers a rollback that
+// restores saved state, requeues the affected input events, and cancels
+// previously sent messages with anti-messages. Both state-saving policies
+// from the paper are implemented — full per-step copies and incremental
+// undo logs ("frequently only the change in state is saved") — as are both
+// cancellation policies, aggressive (cancel on rollback) and Gafni's lazy
+// cancellation (cancel only once re-execution shows the message is not
+// regenerated).
+//
+// Global virtual time is computed by a coordinator with a pause-the-world
+// round protocol: processing is frozen, message-handling rounds repeat
+// until nothing is in transit and nothing was handled, and GVT is then the
+// minimum unprocessed event time. Fossil collection frees history older
+// than GVT, and an optional moving time window bounds optimism to
+// GVT + Window, one of the "control" mechanisms the paper's future
+// directions discuss.
+package timewarp
+
+import (
+	"fmt"
+	gosync "sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/mpsc"
+	"repro/internal/partition"
+	"repro/internal/sim/kernel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Cancellation selects the anti-message policy.
+type Cancellation uint8
+
+// The cancellation policies.
+const (
+	Aggressive Cancellation = iota
+	Lazy
+)
+
+// String names the policy.
+func (c Cancellation) String() string {
+	switch c {
+	case Aggressive:
+		return "aggressive"
+	case Lazy:
+		return "lazy"
+	}
+	return fmt.Sprintf("Cancellation(%d)", uint8(c))
+}
+
+// StateSaving selects the checkpointing policy.
+type StateSaving uint8
+
+// The state-saving policies.
+const (
+	Incremental StateSaving = iota
+	FullCopy
+)
+
+// String names the policy.
+func (s StateSaving) String() string {
+	switch s {
+	case Incremental:
+		return "incremental"
+	case FullCopy:
+		return "full-copy"
+	}
+	return fmt.Sprintf("StateSaving(%d)", uint8(s))
+}
+
+// Config parameterizes an optimistic run.
+type Config struct {
+	// Partition assigns gates to LPs; required.
+	Partition *partition.Partition
+	// Cancellation selects aggressive or lazy anti-messages.
+	Cancellation Cancellation
+	// StateSaving selects incremental undo logs or full per-step copies.
+	StateSaving StateSaving
+	// Window, when non-zero, bounds optimism: an LP does not execute
+	// events later than GVT + Window (the moving-time-window control).
+	Window circuit.Tick
+	// GVTInterval is the wall-clock ceiling between GVT computations; zero
+	// uses a 50ms default. GVT is normally paced by work, not wall time: a
+	// round starts once the run has processed about sixteen events per
+	// gate since the previous round, or immediately when every LP goes
+	// idle (so termination latency never depends on the interval). GVT is
+	// a pause-the-world protocol here and each pause perturbs the LPs'
+	// relative progress enough to induce extra rollback, so pacing by work
+	// keeps the perturbation proportional to useful progress at every
+	// circuit size.
+	GVTInterval time.Duration
+	// IntraWorkers, when > 1, enables hierarchical (hybrid) execution:
+	// each LP evaluates its per-timestep dirty set across this many
+	// barrier-synchronized sub-workers (a synchronous cluster), while the
+	// clusters synchronize optimistically among themselves. This is the
+	// hierarchical scheme of the paper's future-directions section; the
+	// hybrid engine package wraps it.
+	IntraWorkers int
+	// Cost prices intra-cluster critical-path accounting when
+	// IntraWorkers > 1; the zero value uses the default model.
+	Cost stats.CostModel
+	// System is the logic value system.
+	System logic.System
+	// Queue selects each LP's pending-event set implementation.
+	Queue eventq.Impl
+	// Watch lists nets to record; nil watches primary outputs.
+	Watch []circuit.GateID
+	// MaxEvents aborts runaway simulations; 0 means no limit.
+	MaxEvents uint64
+}
+
+// Result is the outcome of an optimistic run.
+type Result struct {
+	Values   []logic.Value
+	Waveform trace.Waveform
+	EndTime  circuit.Tick
+	GVT      circuit.Tick
+	Stats    stats.RunStats
+	// IntraCritical, in hybrid mode, holds each cluster's modeled
+	// evaluation critical path (per-step max chunk plus barrier costs).
+	IntraCritical []float64
+}
+
+// infTick is the "never" timestamp.
+const infTick = circuit.Tick(^uint64(0))
+
+type msgKind uint8
+
+const (
+	msgValue msgKind = iota
+	msgAnti
+	msgGVTRound
+	msgGVTDone // time carries the new GVT
+	msgTerminate
+)
+
+type msg struct {
+	kind  msgKind
+	from  int
+	id    uint64
+	time  circuit.Tick
+	gate  circuit.GateID
+	value logic.Value
+}
+
+// gvtReply is an LP's answer to one GVT round.
+type gvtReply struct {
+	handled  uint64       // messages handled since the previous reply
+	localMin circuit.Tick // minimum live unprocessed event time
+}
+
+// shared bundles cross-goroutine state of a run.
+type shared struct {
+	cfg     Config
+	c       *circuit.Circuit
+	until   circuit.Tick
+	inboxes []*mpsc.Mailbox[msg]
+	replies chan gvtReply
+	transit atomic.Int64
+	events  atomic.Uint64
+	abort   atomic.Bool
+	paused  atomic.Bool
+	// idle counts LPs parked with nothing executable; when every LP is
+	// idle the coordinator starts a GVT round immediately (fast
+	// termination) instead of waiting out the interval.
+	idle    atomic.Int64
+	errOnce gosync.Once
+	err     error
+}
+
+// fail records the first fatal error and aborts the run.
+func (sh *shared) fail(err error) {
+	sh.errOnce.Do(func() { sh.err = err })
+	sh.abort.Store(true)
+	for _, ib := range sh.inboxes {
+		ib.Poke()
+	}
+}
+
+// Run simulates c under the stimulus until the given time (inclusive).
+func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Config) (*Result, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("timewarp: Config.Partition is required")
+	}
+	if err := cfg.Partition.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.NineValued
+	}
+	if cfg.GVTInterval == 0 {
+		cfg.GVTInterval = 50 * time.Millisecond
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+	start := time.Now()
+
+	p := cfg.Partition
+	n := p.Blocks
+	owner := p.Assign
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+
+	sh := &shared{cfg: cfg, c: c, until: until}
+	sh.inboxes = make([]*mpsc.Mailbox[msg], n)
+	for i := range sh.inboxes {
+		sh.inboxes[i] = mpsc.New[msg]()
+	}
+	sh.replies = make(chan gvtReply, n)
+
+	blockGates := p.BlockGates()
+	lps := make([]*tlp, n)
+	for i := 0; i < n; i++ {
+		lps[i] = newTLP(sh, i, kernel.New(c, owner, i, cfg.System, watched, blockGates[i]), cfg)
+	}
+
+	// Stimulus routing, as in the conservative engine: owner plus ghosts.
+	deliverTo := map[circuit.GateID][]int{}
+	for _, in := range c.Inputs {
+		dsts := []int{owner[in]}
+		seen := map[int]bool{owner[in]: true}
+		for _, fo := range c.Fanout[in] {
+			if b := owner[fo]; !seen[b] {
+				seen[b] = true
+				dsts = append(dsts, b)
+			}
+		}
+		deliverTo[in] = dsts
+	}
+	for _, ch := range stim.Changes {
+		if ch.Time > until {
+			continue
+		}
+		for _, dst := range deliverTo[ch.Input] {
+			l := lps[dst]
+			ev := qevent{gate: ch.Input, value: cfg.System.Project(ch.Value), id: l.newID()}
+			if ch.Time == 0 {
+				l.initialEvents = append(l.initialEvents, kernel.Event{Gate: ev.gate, Value: ev.value})
+			} else {
+				l.q.Push(uint64(ch.Time), ev)
+			}
+		}
+	}
+
+	var wg gosync.WaitGroup
+	for _, l := range lps {
+		wg.Add(1)
+		go func(l *tlp) {
+			defer wg.Done()
+			l.run()
+		}(l)
+	}
+	gvtRounds, finalGVT := coordinate(sh, lps)
+	wg.Wait()
+
+	if sh.abort.Load() {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		return nil, fmt.Errorf("timewarp: event limit %d exceeded", cfg.MaxEvents)
+	}
+
+	res := &Result{Values: make([]logic.Value, len(c.Gates)), GVT: finalGVT}
+	for g := range c.Gates {
+		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
+	}
+	recs := make([]*trace.Recorder, n)
+	for i, l := range lps {
+		recs[i] = &l.rec
+		res.Stats.LPs = append(res.Stats.LPs, l.st)
+		res.IntraCritical = append(res.IntraCritical, l.critEval)
+		if l.lvt != infTick && l.lvt > res.EndTime {
+			res.EndTime = l.lvt
+		}
+	}
+	res.Waveform = trace.Merge(recs...)
+	res.Stats.GVTRounds = gvtRounds
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}
+
+// coordinate runs the GVT/termination protocol and returns the number of
+// GVT computations performed and the final GVT.
+func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
+	n := len(lps)
+	var rounds uint64
+	gvt := circuit.Tick(0)
+	// Work-based pacing: a GVT round per ~16 events of progress per gate,
+	// floored so small circuits are not paused constantly.
+	threshold := uint64(16 * len(sh.c.Gates))
+	if threshold < 100_000 {
+		threshold = 100_000
+	}
+	var lastEvents uint64
+	for {
+		// Wait for enough progress, an all-idle run, or the wall ceiling.
+		deadline := time.Now().Add(sh.cfg.GVTInterval)
+		for time.Now().Before(deadline) {
+			if sh.abort.Load() || sh.idle.Load() == int64(n) ||
+				sh.events.Load()-lastEvents >= threshold {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		if sh.abort.Load() {
+			return rounds, gvt
+		}
+		lastEvents = sh.events.Load()
+		// Freeze processing, then repeat handling rounds to quiescence.
+		sh.paused.Store(true)
+		var localMins []circuit.Tick
+		for {
+			for _, ib := range sh.inboxes {
+				ib.Put(msg{kind: msgGVTRound})
+			}
+			var handled uint64
+			localMins = localMins[:0]
+			for i := 0; i < n; i++ {
+				r := <-sh.replies
+				handled += r.handled
+				localMins = append(localMins, r.localMin)
+			}
+			if sh.abort.Load() {
+				sh.paused.Store(false)
+				return rounds, gvt
+			}
+			if handled == 0 && sh.transit.Load() == 0 {
+				break
+			}
+		}
+		rounds++
+		gvt = infTick
+		for _, m := range localMins {
+			if m < gvt {
+				gvt = m
+			}
+		}
+		if gvt > sh.until {
+			for _, ib := range sh.inboxes {
+				ib.Put(msg{kind: msgTerminate})
+			}
+			sh.paused.Store(false)
+			return rounds, gvt
+		}
+		sh.paused.Store(false)
+		for _, ib := range sh.inboxes {
+			ib.Put(msg{kind: msgGVTDone, time: gvt})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAccumulates(t *testing.T) {
+	a := LPStats{Evaluations: 1, MessagesSent: 2, Rollbacks: 3, Blocks: 4}
+	b := LPStats{Evaluations: 10, MessagesSent: 20, Rollbacks: 30, Blocks: 40}
+	a.Add(b)
+	if a.Evaluations != 11 || a.MessagesSent != 22 || a.Rollbacks != 33 || a.Blocks != 44 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestBusyMonotonicInEveryCounter(t *testing.T) {
+	m := DefaultCostModel()
+	base := LPStats{Evaluations: 10, EventsApplied: 10, MessagesSent: 2}
+	b0 := m.Busy(base)
+	inc := []func(*LPStats){
+		func(s *LPStats) { s.Evaluations++ },
+		func(s *LPStats) { s.EventsApplied++ },
+		func(s *LPStats) { s.EventsScheduled++ },
+		func(s *LPStats) { s.MessagesSent++ },
+		func(s *LPStats) { s.MessagesRecv++ },
+		func(s *LPStats) { s.NullsSent++ },
+		func(s *LPStats) { s.NullsRecv++ },
+		func(s *LPStats) { s.Rollbacks++ },
+		func(s *LPStats) { s.EventsRolledBack++ },
+		func(s *LPStats) { s.AntiMessagesSent++ },
+		func(s *LPStats) { s.AntiMessagesRecv++ },
+		func(s *LPStats) { s.StateSavedWords++ },
+		func(s *LPStats) { s.Blocks++ },
+	}
+	for i, f := range inc {
+		s := base
+		f(&s)
+		if m.Busy(s) <= b0 {
+			t.Errorf("counter %d does not increase Busy", i)
+		}
+	}
+}
+
+func TestBarrierGrowsWithProcessors(t *testing.T) {
+	m := DefaultCostModel()
+	if m.Barrier(1) >= m.Barrier(2) || m.Barrier(8) >= m.Barrier(32) {
+		t.Fatal("barrier cost not growing with processor count")
+	}
+	if m.GVT(1) >= m.GVT(16) {
+		t.Fatal("GVT cost not growing")
+	}
+}
+
+func TestModeledTimeUsesBusiestLP(t *testing.T) {
+	m := DefaultCostModel()
+	r := RunStats{LPs: []LPStats{
+		{Evaluations: 100},
+		{Evaluations: 400},
+		{Evaluations: 50},
+	}}
+	want := m.Busy(LPStats{Evaluations: 400})
+	if got := r.ModeledTime(m); got != want {
+		t.Fatalf("ModeledTime = %f, want %f", got, want)
+	}
+	// A larger critical path overrides the busiest LP.
+	r.ModeledCritical = 2 * want
+	if got := r.ModeledTime(m); got != 2*want {
+		t.Fatalf("ModeledTime with critical = %f", got)
+	}
+	// Barriers and GVT rounds add on top.
+	r.Barriers = 10
+	r.GVTRounds = 5
+	if got := r.ModeledTime(m); got <= 2*want {
+		t.Fatal("global costs not added")
+	}
+}
+
+func TestSequentialTimeAndSpeedup(t *testing.T) {
+	m := DefaultCostModel()
+	seq := SequentialTime(m, 100, 50, 50)
+	if seq != m.EvalCost*100+m.EventCost*100 {
+		t.Fatalf("SequentialTime = %f", seq)
+	}
+	if Speedup(10, 5) != 2 {
+		t.Fatal("Speedup wrong")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Fatal("Speedup by zero not guarded")
+	}
+}
+
+func TestTotalSums(t *testing.T) {
+	f := func(a, b uint64) bool {
+		r := RunStats{LPs: []LPStats{{Evaluations: a}, {Evaluations: b}}}
+		return r.Total().Evaluations == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMentionsKeyCounters(t *testing.T) {
+	r := RunStats{LPs: []LPStats{{Evaluations: 7, Rollbacks: 3}}}
+	s := r.Summary(DefaultCostModel())
+	for _, want := range []string{"evals=7", "rollbacks=3", "LPs=1", "modeled="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
