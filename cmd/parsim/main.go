@@ -11,12 +11,14 @@
 //	parsim -circuit mul16 -engine timewarp -lps 8 -partition fm
 //	parsim -bench mydesign.bench -engine cmb -lps 4 -vcd out.vcd
 //	parsim -circuit c17 -engine seq -vectors 100
+//	parsim -circuit dag1000 -engine sync -trace-out t.json -metrics-out m.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
@@ -50,6 +52,9 @@ func main() {
 		lazy       = flag.Bool("lazy", false, "Time Warp lazy cancellation")
 		fullCopy   = flag.Bool("full-copy", false, "Time Warp full-copy state saving")
 		vcdPath    = flag.String("vcd", "", "write the output waveform as VCD to this file")
+		metricsOut = flag.String("metrics-out", "", "write the machine-readable metrics report (JSON) to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event timeline (chrome://tracing, Perfetto) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (enables pprof LP labels)")
 		quiet      = flag.Bool("q", false, "print only the summary line")
 	)
 	flag.Parse()
@@ -93,6 +98,17 @@ func main() {
 		Engine: engine, LPs: *lps, Partition: method, PartitionSeed: *seed,
 		System: sys, Queue: queue, Window: circuit.Tick(*window),
 	}
+	if *traceOut != "" {
+		opts.Tracer = trace.NewTracer(engine.String())
+	}
+	if *cpuProfile != "" {
+		opts.PProfLabels = true
+		f, err := os.Create(*cpuProfile)
+		fatal(err)
+		defer f.Close()
+		fatal(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 	if *lazy {
 		opts.Cancellation = timewarp.Lazy
 	}
@@ -127,7 +143,7 @@ func main() {
 				rep.SpeedupOver(base, model), rep.Processors)
 		} else {
 			fmt.Printf("counters: evals=%d events=%d timesteps=%d\n",
-				rep.SeqWork.Evaluations, rep.SeqWork.EventsApplied, rep.SeqWork.Timesteps)
+				rep.SeqWork.Evaluations, rep.SeqWork.EventsApplied, rep.SeqWork.Steps)
 		}
 		fmt.Printf("final outputs:")
 		for _, o := range c.Outputs {
@@ -143,6 +159,28 @@ func main() {
 		fatal(trace.WriteVCD(f, c, c.Outputs, rep.Waveform, "1ns"))
 		if !*quiet {
 			fmt.Printf("wrote %d waveform samples to %s\n", len(rep.Waveform), *vcdPath)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		fatal(err)
+		defer f.Close()
+		if rep.Metrics == nil {
+			fatal(fmt.Errorf("no metrics report produced"))
+		}
+		fatal(rep.Metrics.WriteJSON(f))
+		if !*quiet {
+			fmt.Printf("metrics: %s -> %s\n", rep.Metrics.Summary(), *metricsOut)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		defer f.Close()
+		fatal(opts.Tracer.WriteJSON(f))
+		if !*quiet {
+			fmt.Printf("trace: %d spans (%d dropped) -> %s\n",
+				opts.Tracer.TotalSpans(), opts.Tracer.Dropped(), *traceOut)
 		}
 	}
 }

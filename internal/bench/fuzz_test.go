@@ -1,10 +1,12 @@
 package bench_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/circuit"
 )
 
 // FuzzRead checks the .bench reader never panics and that every accepted
@@ -51,4 +53,99 @@ func FuzzRead(f *testing.F) {
 			t.Fatalf("round trip changed gate count %d -> %d", c.NumGates(), back.NumGates())
 		}
 	})
+}
+
+// structure renders a circuit's full structural identity — per-gate name,
+// kind, delay, and fanin names, plus the input and output lists — in a
+// form independent of gate IDs, for round-trip comparison.
+func structure(c *circuit.Circuit) string {
+	var sb strings.Builder
+	name := func(id circuit.GateID) string { return c.Gate(id).Name }
+	for id := range c.Gates {
+		g := c.Gate(circuit.GateID(id))
+		fmt.Fprintf(&sb, "%s|%v@%d", g.Name, g.Kind, g.Delay)
+		for _, f := range g.Fanin {
+			sb.WriteByte(',')
+			sb.WriteString(name(f))
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("in:")
+	for _, in := range c.Inputs {
+		sb.WriteByte(' ')
+		sb.WriteString(name(in))
+	}
+	sb.WriteString("\nout:")
+	for _, out := range c.Outputs {
+		sb.WriteByte(' ')
+		sb.WriteString(name(out))
+	}
+	return sb.String()
+}
+
+// FuzzBenchRoundTrip is the strong round-trip property: any netlist the
+// reader accepts must write, re-read, and write again to a byte-identical
+// fixed point, with every gate's name, kind, delay, and wiring preserved.
+// (FuzzRead above is the weaker never-panic property over the same space.)
+func FuzzBenchRoundTrip(f *testing.F) {
+	seeds := []string{
+		bench.C17,
+		bench.S27,
+		"INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n",
+		"INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n",
+		"INPUT(CLK)\nINPUT(d)\nOUTPUT(q)\nq = DFF(d)\n",
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(fwd)\nfwd = BUFF(a)\n",
+		"INPUT(a)\nOUTPUT(y)\nk = CONST1()\ny = AND(a, k)\n#@ delay y 7\n",
+		"INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(s, a, b)\n",
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = XOR(a, b)\ny = DLATCH(x)\n#@ delay x 3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := bench.ReadString(src)
+		if err != nil {
+			return // rejected input; nothing to round-trip
+		}
+		s1, err := bench.WriteString(c, "")
+		if err != nil {
+			t.Fatalf("accepted netlist not writable: %v\ninput: %q", err, src)
+		}
+		c2, err := bench.ReadString(s1)
+		if err != nil {
+			t.Fatalf("written netlist not readable: %v\nwritten:\n%s", err, s1)
+		}
+		s2, err := bench.WriteString(c2, "")
+		if err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if s1 != s2 {
+			t.Fatalf("write/read/write not a fixed point:\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+		if a, b := structure(c), structure(c2); a != b {
+			t.Fatalf("structure changed across round trip:\nbefore:\n%s\nafter:\n%s", a, b)
+		}
+	})
+}
+
+// TestBenchRoundTripSeeds runs the strong round-trip property over the
+// seed corpus directly, so plain `go test` exercises the contract too.
+func TestBenchRoundTripSeeds(t *testing.T) {
+	for _, src := range []string{bench.C17, bench.S27} {
+		c, err := bench.ReadString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := bench.WriteString(c, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := bench.ReadString(s1)
+		if err != nil {
+			t.Fatalf("written form not readable: %v\n%s", err, s1)
+		}
+		if a, b := structure(c), structure(c2); a != b {
+			t.Fatalf("structure changed:\nbefore:\n%s\nafter:\n%s", a, b)
+		}
+	}
 }

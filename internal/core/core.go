@@ -13,6 +13,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/eventq"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sim/cmb"
 	"repro/internal/sim/hybrid"
@@ -112,6 +113,17 @@ type Options struct {
 	// IntraWorkers is the per-cluster synchronous worker count of the
 	// hybrid engine (default 2).
 	IntraWorkers int
+
+	// Metrics, when non-nil, receives the run's work counters instead of
+	// the private registry Simulate otherwise creates. Report.Metrics is
+	// only populated for *metrics.Registry sinks.
+	Metrics metrics.Sink
+	// Tracer, when non-nil, records per-LP lifecycle spans (see
+	// trace.Tracer.WriteJSON for the Chrome trace_event export).
+	Tracer *trace.Tracer
+	// PProfLabels tags LP goroutines with runtime/pprof labels
+	// (engine/lp/phase) so CPU profiles break down by logical process.
+	PProfLabels bool
 }
 
 // Report is the engine-independent outcome of a run.
@@ -127,7 +139,10 @@ type Report struct {
 	Processors int
 	// SeqWork caches the counters needed to compute a sequential baseline
 	// time for speedups (populated for EngineSeq runs).
-	SeqWork seq.Stats
+	SeqWork metrics.LPCounters
+	// Metrics is the machine-readable run report (counters, histograms,
+	// gauges, globals) from the run's metrics registry.
+	Metrics *metrics.Report
 }
 
 // SpeedupOver computes this run's modeled speedup over a sequential
@@ -157,6 +172,14 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 	if opts.IntraWorkers <= 0 {
 		opts.IntraWorkers = 2
 	}
+	sink := opts.Metrics
+	if sink == nil {
+		reg := metrics.NewRegistry(opts.Engine.String())
+		if opts.PProfLabels {
+			reg.EnablePProf()
+		}
+		sink = reg
+	}
 
 	var part *partition.Partition
 	if opts.Engine.Parallel() {
@@ -175,18 +198,21 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 	case EngineSeq:
 		res, err := seq.Run(c, stim, until, seq.Config{
 			System: opts.System, Queue: opts.Queue, Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
 		}
 		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
-		rep.SeqWork = res.Stats
+		rep.SeqWork = res.Counters
+		rep.Stats.LPs = []metrics.LPCounters{res.Counters}
 		rep.Processors = 1
 		rep.Modeled = stats.SequentialTime(opts.Cost,
-			res.Stats.Evaluations, res.Stats.EventsApplied, res.Stats.EventsScheduled)
+			res.Counters.Evaluations, res.Counters.EventsApplied, res.Counters.EventsScheduled)
 	case EngineOblivious:
 		res, err := oblivious.Run(c, stim, oblivious.Config{
 			System: opts.System, Workers: opts.LPs, Watch: opts.Watch, Cost: opts.Cost,
+			Metrics: sink, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -198,6 +224,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 		res, err := sync.Run(c, stim, until, sync.Config{
 			Partition: part, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, Cost: opts.Cost, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -216,6 +243,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 		res, err := cmb.Run(c, stim, until, cmb.Config{
 			Partition: part, Mode: mode, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -232,6 +260,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			Partition: part, Cancellation: cancel, StateSaving: opts.StateSaving,
 			Window: opts.Window, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -245,6 +274,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			Cancellation: opts.Cancellation, StateSaving: opts.StateSaving,
 			Window: opts.Window, System: opts.System, Cost: opts.Cost,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -255,6 +285,14 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 		rep.Processors = res.TotalProcessors()
 	default:
 		return nil, fmt.Errorf("core: unknown engine %v", opts.Engine)
+	}
+	if reg, ok := sink.(*metrics.Registry); ok {
+		reg.SetLabel("engine", opts.Engine.String())
+		reg.SetLabel("lps", fmt.Sprint(rep.Processors))
+		if opts.Engine.Parallel() {
+			reg.SetLabel("partition", opts.Partition.String())
+		}
+		rep.Metrics = reg.Report()
 	}
 	return rep, nil
 }
@@ -267,7 +305,7 @@ func PreSimulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick,
 	if err != nil {
 		return nil, err
 	}
-	return partition.WeightsFromProfile(res.Stats.EvalsByGate), nil
+	return partition.WeightsFromProfile(res.EvalsByGate), nil
 }
 
 // Horizon re-exports the settling-margin heuristic for callers that only

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sim/seq"
 	"repro/internal/sim/timewarp"
@@ -59,7 +60,7 @@ func E3Activity(s Scale) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.2f", act),
 			d(base.SeqWork.Evaluations),
-			d(obl.Stats.Total().Evaluations),
+			d(obl.Metrics.Total(metrics.Evaluations)),
 			f2(base.Modeled / 1e6), f2(obl.Modeled / 1e6), f2(ratio),
 		})
 	}
@@ -214,9 +215,9 @@ func E5Granularity(s Scale) (*Table, error) {
 				worst = pt
 			}
 		}
-		worst += float64(rep.Stats.GVTRounds) * m.GVT(procs)
+		worst += float64(rep.Metrics.Globals.GVTRounds) * m.GVT(procs)
 		imb := worst * float64(procs) / total
-		tot := rep.Stats.Total()
+		tot := rep.Metrics.Counters()
 		msgsPerEvent := 0.0
 		if tot.EventsApplied > 0 {
 			msgsPerEvent = float64(tot.MessagesSent) / float64(tot.EventsApplied)
@@ -270,7 +271,7 @@ func E6StateSaving(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tot := rep.Stats.Total()
+		tot := rep.Metrics.Counters()
 		perStep := 0.0
 		if tot.StateSaves > 0 {
 			perStep = float64(tot.StateSavedWords) / float64(tot.StateSaves)
@@ -320,7 +321,7 @@ func E7Cancellation(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tot := rep.Stats.Total()
+		tot := rep.Metrics.Counters()
 		name := "aggressive"
 		if eng == core.EngineTimeWarpLazy {
 			name = "lazy"
@@ -371,7 +372,7 @@ func E8NullMessages(s Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			tot := rep.Stats.Total()
+			tot := rep.Metrics.Counters()
 			perEvent := 0.0
 			if tot.EventsApplied > 0 {
 				perEvent = float64(tot.NullsSent) / float64(tot.EventsApplied)
@@ -418,8 +419,8 @@ func E9TimingGranularity(s Scale) (*Table, error) {
 			return nil, err
 		}
 		simult := 0.0
-		if base.SeqWork.Timesteps > 0 {
-			simult = float64(base.SeqWork.EventsApplied) / float64(base.SeqWork.Timesteps)
+		if base.SeqWork.Steps > 0 {
+			simult = float64(base.SeqWork.EventsApplied) / float64(base.SeqWork.Steps)
 		}
 		row := []string{delays.name, f2(simult)}
 		for _, eng := range []core.Engine{core.EngineSync, core.EngineCMB, core.EngineTimeWarp} {
@@ -572,7 +573,7 @@ func E11Variance(s Scale) (*Table, error) {
 				return nil, err
 			}
 			sps = append(sps, sp)
-			rb := rep.Stats.Total().Rollbacks
+			rb := rep.Metrics.Counters().Rollbacks
 			if rb < minRB {
 				minRB = rb
 			}
@@ -757,7 +758,7 @@ func timedSeqRun(w *workload, impl int) (uint64, string, float64, error) {
 		return 0, "", 0, err
 	}
 	el := nowf() - start
-	events := res.Stats.EventsApplied + res.Stats.EventsScheduled
+	events := res.Counters.EventsApplied + res.Counters.EventsScheduled
 	rate := float64(events) / (el * 1000)
 	return events, fmt.Sprintf("%.1fms", el*1000), rate, nil
 }

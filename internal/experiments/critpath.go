@@ -41,9 +41,9 @@ func E16CriticalPath(s Scale) (*Table, error) {
 			return err
 		}
 		seqTime := stats.SequentialTime(m,
-			ref.Stats.Evaluations, ref.Stats.EventsApplied, ref.Stats.EventsScheduled)
+			ref.Counters.Evaluations, ref.Counters.EventsApplied, ref.Counters.EventsScheduled)
 		ideal := stats.Speedup(seqTime, ref.CriticalPath)
-		base := &core.Report{SeqWork: ref.Stats}
+		base := &core.Report{SeqWork: ref.Counters}
 		sp8, _, err := speedupOf(w, base, core.Options{
 			Engine: core.EngineTimeWarp, LPs: 8, Partition: partition.MethodFM, PartitionSeed: 3,
 		})

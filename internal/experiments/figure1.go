@@ -100,7 +100,7 @@ func E2Scaling(s Scale) (*Table, error) {
 		row = append(row, f2(spSync))
 		// Barrier share of the modeled time.
 		m := defaultModel()
-		barrier := float64(rep.Stats.Barriers) * m.Barrier(lps)
+		barrier := float64(rep.Metrics.Globals.Barriers) * m.Barrier(lps)
 		row = append(row, f2(barrier/rep.Modeled))
 		for _, eng := range []core.Engine{core.EngineTimeWarp, core.EngineCMB} {
 			sp, _, err := speedupOf(w, base, core.Options{

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/sim/seq"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -104,7 +105,7 @@ type Result struct {
 	Coverage   float64
 	Detections []Detection
 	// GoodStats are the work counters of the fault-free reference run.
-	GoodStats seq.Stats
+	GoodStats metrics.LPCounters
 }
 
 // Config parameterizes a campaign.
@@ -171,7 +172,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, faults 
 	close(work)
 	wg.Wait()
 
-	out := &Result{Total: len(faults), GoodStats: good.Stats}
+	out := &Result{Total: len(faults), GoodStats: good.Counters}
 	for i, v := range verdicts {
 		if v.err != nil {
 			return nil, fmt.Errorf("fault %v: %w", faults[i], v.err)

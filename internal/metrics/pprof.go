@@ -1,0 +1,29 @@
+package metrics
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// Do runs f with goroutine pprof labels attributing CPU samples to
+// engine/lp/phase, so `go tool pprof -tags` splits a profile by logical
+// process and synchronization role. When the sink has labeling disabled
+// (the default) it calls f directly — label maps cost an allocation per
+// goroutine, which the fork-join engines would pay per phase.
+//
+// lp < 0 labels a non-LP role (coordinator, main loop) with the phase
+// only.
+func Do(m Sink, engine string, lp int, phase string, f func()) {
+	if m == nil || !m.PProfEnabled() {
+		f()
+		return
+	}
+	var labels pprof.LabelSet
+	if lp >= 0 {
+		labels = pprof.Labels("engine", engine, "lp", strconv.Itoa(lp), "phase", phase)
+	} else {
+		labels = pprof.Labels("engine", engine, "phase", phase)
+	}
+	pprof.Do(context.Background(), labels, func(context.Context) { f() })
+}

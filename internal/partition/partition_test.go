@@ -204,7 +204,7 @@ func TestPreSimulationImprovesLoadBalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof := WeightsFromProfile(res.Stats.EvalsByGate)
+	prof := WeightsFromProfile(res.EvalsByGate)
 
 	uniform := FM(c, 2, WeightsUniform(c), 9)
 	weighted := FM(c, 2, prof, 9)

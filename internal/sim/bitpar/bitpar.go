@@ -21,16 +21,17 @@ import (
 	"math/bits"
 
 	"repro/internal/circuit"
+	"repro/internal/metrics"
 )
 
 // Sim is a bit-parallel evaluator over one circuit. It is not safe for
 // concurrent use; fault grading creates one Sim per worker.
 type Sim struct {
-	c     *circuit.Circuit
-	comb  []circuit.GateID // combinational gates in evaluation order
-	seq   []circuit.GateID // flip-flops
-	w     []uint64         // value word per gate (bit k = pattern k)
-	evals uint64
+	c    *circuit.Circuit
+	comb []circuit.GateID // combinational gates in evaluation order
+	seq  []circuit.GateID // flip-flops
+	w    []uint64         // value word per gate (bit k = pattern k)
+	st   *metrics.LPBlock
 	// force overrides one net to a constant word in every lane — the
 	// stuck-at injection mechanism of PPSFP fault grading.
 	forceGate circuit.GateID
@@ -63,7 +64,7 @@ func New(c *circuit.Circuit) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Sim{c: c, w: make([]uint64, c.NumGates())}
+	s := &Sim{c: c, w: make([]uint64, c.NumGates()), st: metrics.NewRegistry("bitpar").LP(0)}
 	for _, level := range levels {
 		for _, g := range level {
 			if c.Gates[g].Kind == circuit.DFF {
@@ -104,7 +105,16 @@ func (s *Sim) Get(g circuit.GateID) uint64 { return s.w[g] }
 
 // Evaluations reports the number of gate-word evaluations performed; each
 // one covers up to 64 patterns.
-func (s *Sim) Evaluations() uint64 { return s.evals }
+func (s *Sim) Evaluations() uint64 { return s.st.Evaluations }
+
+// AttachMetrics redirects the evaluator's counters into the given sink's
+// LP block (one block per worker in fault grading). Call before any
+// evaluation; the counters accumulated so far are carried over.
+func (s *Sim) AttachMetrics(m metrics.Sink, lp int) {
+	blk := m.LP(lp)
+	blk.Add(s.st.LPCounters)
+	s.st = blk
+}
 
 // Settle evaluates the combinational logic level by level.
 func (s *Sim) Settle() {
@@ -114,7 +124,7 @@ func (s *Sim) Settle() {
 			continue
 		}
 		s.w[g] = s.evalWord(g)
-		s.evals++
+		s.st.Evaluations++
 	}
 }
 
@@ -129,7 +139,7 @@ func (s *Sim) Cycle() {
 	updates := make([]upd, 0, len(s.seq))
 	for _, g := range s.seq {
 		updates = append(updates, upd{g, s.w[s.c.Gates[g].Fanin[0]]})
-		s.evals++
+		s.st.Evaluations++
 	}
 	for _, u := range updates {
 		s.w[u.g] = u.v

@@ -34,6 +34,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/eventq"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/mpsc"
 	"repro/internal/partition"
 	"repro/internal/sim/kernel"
@@ -79,6 +80,12 @@ type Config struct {
 	Watch []circuit.GateID
 	// MaxEvents aborts runaway simulations; 0 means no limit.
 	MaxEvents uint64
+	// Metrics receives per-LP counters and quiescence-round globals; nil
+	// uses a private registry.
+	Metrics metrics.Sink
+	// Tracer, when non-nil, records per-LP evaluate/block spans and
+	// coordinator quiescence-detection spans.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of a conservative run.
@@ -125,6 +132,8 @@ type shared struct {
 	transit atomic.Int64
 	events  atomic.Uint64
 	abort   atomic.Bool
+	sink    metrics.Sink
+	coShard *trace.Shard
 	// blockedCnt counts LPs currently parked in WaitDrain (detect mode).
 	blockedCnt atomic.Int64
 	// rounds counts coordinator permit broadcasts (detect mode): each is a
@@ -142,7 +151,8 @@ type clp struct {
 	k     *kernel.LP
 	q     eventq.Queue[kernel.Event]
 	rec   trace.Recorder
-	st    stats.LPStats
+	st    *metrics.LPBlock
+	trsh  *trace.Shard
 	lvt   circuit.Tick
 	safe  circuit.Tick // DeadlockRecovery: permit bound; null modes: derived
 	bound map[int]circuit.Tick
@@ -182,6 +192,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	if cfg.System == 0 {
 		cfg.System = logic.NineValued
 	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("cmb-" + cfg.Mode.String())
+	}
 	start := time.Now()
 
 	p := cfg.Partition
@@ -192,7 +206,8 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		watched = c.Outputs
 	}
 
-	sh := &shared{cfg: cfg, c: c, until: until}
+	sh := &shared{cfg: cfg, c: c, until: until, sink: sink}
+	sh.coShard = cfg.Tracer.Shard("coordinator")
 	sh.inboxes = make([]*mpsc.Mailbox[msg], n)
 	for i := range sh.inboxes {
 		sh.inboxes[i] = mpsc.New[msg]()
@@ -227,6 +242,8 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			reqd:     map[int]bool{},
 			awaiting: map[int]bool{},
 			safe:     1,
+			st:       sink.LP(i),
+			trsh:     cfg.Tracer.Shard(fmt.Sprintf("lp %d", i)),
 		}
 		l.k = kernel.New(c, owner, i, cfg.System, watched, blockGates[i])
 		l.k.Schedule = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
@@ -282,12 +299,16 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		wg.Add(1)
 		go func(l *clp) {
 			defer wg.Done()
-			l.run(initial[l.id])
+			metrics.Do(sink, "cmb", l.id, "run", func() {
+				l.run(initial[l.id])
+			})
 		}(l)
 	}
 	var coordErr error
 	if cfg.Mode == DeadlockRecovery {
-		coordErr = coordinate(sh, lps)
+		metrics.Do(sink, "cmb", -1, "coordinate", func() {
+			coordErr = coordinate(sh, lps)
+		})
 	}
 	wg.Wait()
 
@@ -305,14 +326,13 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	recs := make([]*trace.Recorder, n)
 	for i, l := range lps {
 		recs[i] = &l.rec
-		res.Stats.LPs = append(res.Stats.LPs, l.st)
 		if l.end > res.EndTime {
 			res.EndTime = l.end
 		}
 	}
 	res.Waveform = trace.Merge(recs...)
-	res.Stats.GVTRounds = sh.rounds
-	res.Stats.Wall = time.Since(start)
+	sink.Globals().GVTRounds = sh.rounds
+	res.Stats = stats.Collect(sink, time.Since(start))
 	return res, nil
 }
 
@@ -403,7 +423,10 @@ func (l *clp) run(initialEvents []kernel.Event) {
 	demand := l.sh.cfg.Mode == NullDemand
 
 	// Time-zero settling step.
-	l.k.Step(0, initialEvents, true, nil, &l.st)
+	begin := l.trsh.Now()
+	l.k.Step(0, initialEvents, true, nil, &l.st.LPCounters)
+	l.st.Hist(metrics.HistStepEvents).Observe(uint64(len(initialEvents)))
+	l.trsh.Span(trace.PhaseEvaluate, begin, 0)
 	l.end = 0
 	if !detect {
 		l.sendPromises(false)
@@ -441,7 +464,10 @@ func (l *clp) run(initialEvents []kernel.Event) {
 					return
 				}
 			}
-			l.k.Step(t, l.evs, false, nil, &l.st)
+			begin := l.trsh.Now()
+			l.k.Step(t, l.evs, false, nil, &l.st.LPCounters)
+			l.st.Hist(metrics.HistStepEvents).Observe(uint64(len(l.evs)))
+			l.trsh.Span(trace.PhaseEvaluate, begin, t)
 			l.lvt = t
 			l.end = t
 		}
@@ -472,6 +498,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 			}
 		}
 		l.st.Blocks++
+		blockBegin := l.trsh.Now()
 		var ok bool
 		if detect {
 			// Publish quiescence state for the coordinator's double-collect
@@ -488,6 +515,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 		} else {
 			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
 		}
+		l.trsh.Span(trace.PhaseBlock, blockBegin, trace.NoTick)
 		if !ok {
 			return
 		}
@@ -560,9 +588,11 @@ func coordinate(sh *shared, lps []*clp) error {
 			return nil
 		}
 		sh.rounds++
+		roundBegin := sh.coShard.Now()
 		for _, ib := range sh.inboxes {
 			ib.Put(msg{kind: msgPermit, time: gmin})
 		}
+		sh.coShard.Span(trace.PhaseGVT, roundBegin, gmin)
 		// Wait until every LP has observably woken (its generation moved
 		// past the snapshot) before re-evaluating quiescence; watching the
 		// blocked count instead would race with an LP that wakes and

@@ -28,8 +28,12 @@ func TestMatchesSequentialReference(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: seq: %v", cs.Name, err)
 		}
+		ks := []int{1, 2, 4, 7}
+		if testing.Short() {
+			ks = []int{4}
+		}
 		for _, mode := range allModes {
-			for _, k := range []int{1, 2, 4, 7} {
+			for _, k := range ks {
 				p, err := partition.New(partition.MethodFM, cs.C, k, partition.Options{Seed: 3})
 				if err != nil {
 					t.Fatal(err)
@@ -56,6 +60,9 @@ func TestMatchesSequentialReference(t *testing.T) {
 }
 
 func TestRandomPartitionsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in short mode")
+	}
 	// Random partitions maximize cut links and cyclic LP dependencies —
 	// the stress case for null-message deadlock avoidance.
 	c, err := gen.RandomSeq(gen.RandomConfig{Gates: 300, Inputs: 10, Outputs: 6, Seed: 21, FFRatio: 0.2})

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sim/timewarp"
 	"repro/internal/stats"
@@ -46,6 +47,11 @@ type Config struct {
 	Watch []circuit.GateID
 	// MaxEvents aborts runaway simulations; 0 means no limit.
 	MaxEvents uint64
+	// Metrics receives the per-cluster counters; nil uses a private
+	// registry.
+	Metrics metrics.Sink
+	// Tracer is forwarded to the inter-cluster optimistic protocol.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of a hybrid run.
@@ -75,6 +81,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	if workers == 1 {
 		workers = 2 // still exercise the parallel step path in degenerate runs
 	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("hybrid")
+	}
 	res, err := timewarp.Run(c, stim, until, timewarp.Config{
 		Partition:    cfg.Partition,
 		Cancellation: cfg.Cancellation,
@@ -85,6 +95,8 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		System:       cfg.System,
 		Watch:        cfg.Watch,
 		MaxEvents:    cfg.MaxEvents,
+		Metrics:      sink,
+		Tracer:       cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -19,7 +19,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
-	"repro/internal/stats"
+	"repro/internal/metrics"
 )
 
 // Event is one net value change to apply.
@@ -120,7 +120,7 @@ func (lp *LP) Values() []logic.Value { return lp.val }
 // Step applies the events for time t, then evaluates affected owned gates.
 // When undo is non-nil every state write is logged into it. Counters are
 // accumulated into st.
-func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st *stats.LPStats) {
+func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st *metrics.LPCounters) {
 	lp.epoch++
 	lp.dirty = lp.dirty[:0]
 	st.Steps++
@@ -203,7 +203,7 @@ func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st 
 // This is the paper's hierarchical synchronization: barrier-synchronous
 // evaluation inside a cluster, with whatever protocol the caller runs
 // between clusters.
-func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *Undo, st *stats.LPStats, workers int, outBuf, clkBuf []logic.Value) (maxChunk int) {
+func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *Undo, st *metrics.LPCounters, workers int, outBuf, clkBuf []logic.Value) (maxChunk int) {
 	lp.epoch++
 	lp.dirty = lp.dirty[:0]
 	st.Steps++
@@ -313,7 +313,7 @@ func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *U
 
 // Rollback undoes a sequence of steps by replaying their undo logs in
 // reverse order (most recent first).
-func (lp *LP) Rollback(undos []*Undo, st *stats.LPStats) {
+func (lp *LP) Rollback(undos []*Undo, st *metrics.LPCounters) {
 	for i := len(undos) - 1; i >= 0; i-- {
 		u := undos[i]
 		for j := len(u.projs) - 1; j >= 0; j-- {

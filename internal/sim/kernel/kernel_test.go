@@ -6,7 +6,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/gen"
 	"repro/internal/logic"
-	"repro/internal/stats"
+	"repro/internal/metrics"
 )
 
 // harness wires an LP over a small circuit with capture callbacks.
@@ -79,7 +79,7 @@ func TestStepEvaluatesOnlyOwnedGates(t *testing.T) {
 	c, owner := twoLPCircuit(t)
 	h := newHarness(t, c, owner, 0)
 	a, _ := c.ByName("a")
-	var st stats.LPStats
+	var st metrics.LPCounters
 	h.lp.Step(0, []Event{{a, logic.One}}, false, nil, &st)
 	// LP0 owns a and inv; only inv is evaluated (a's change dirties it).
 	if st.Evaluations != 1 {
@@ -101,7 +101,7 @@ func TestStepEvaluatesOnlyOwnedGates(t *testing.T) {
 func TestCrossLPSendDedup(t *testing.T) {
 	c, owner := twoLPCircuit(t)
 	h := newHarness(t, c, owner, 0)
-	var st stats.LPStats
+	var st metrics.LPCounters
 	// Settle: inv -> 1 scheduled at t=1 and sent to LP1 exactly once.
 	h.lp.Step(0, nil, true, nil, &st)
 	if len(h.sent) != 1 || h.sent[0].dst != 1 {
@@ -131,7 +131,7 @@ func TestUndoRoundTrip(t *testing.T) {
 		sched = append(sched, Event{g, v})
 	}
 	lp.Send = func(int, circuit.Tick, circuit.GateID, logic.Value) {}
-	var st stats.LPStats
+	var st metrics.LPCounters
 
 	// Settle, snapshot the state, run a few steps with undo, roll back,
 	// and require bit-identical state.
@@ -181,7 +181,7 @@ func TestSnapshotRestore(t *testing.T) {
 	lp := New(c, owner, 0, logic.TwoValued, c.Outputs, own)
 	lp.Schedule = func(circuit.Tick, circuit.GateID, logic.Value) {}
 	lp.Send = func(int, circuit.Tick, circuit.GateID, logic.Value) {}
-	var st stats.LPStats
+	var st metrics.LPCounters
 	lp.Step(0, nil, true, nil, &st)
 	nets := lp.RelevantNets()
 	var snap Snapshot
@@ -223,7 +223,7 @@ func TestStepParallelMatchesSerial(t *testing.T) {
 	}
 	serial, ss := mk()
 	par, ps := mk()
-	var st1, st2 stats.LPStats
+	var st1, st2 metrics.LPCounters
 	outBuf := make([]logic.Value, c.NumGates())
 	clkBuf := make([]logic.Value, c.NumGates())
 
@@ -254,7 +254,7 @@ func TestRecordOnlyWatchedOwned(t *testing.T) {
 	c, owner := twoLPCircuit(t)
 	// LP1 owns the output gate y; settling changes it (and -> ... ).
 	h := newHarness(t, c, owner, 1)
-	var st stats.LPStats
+	var st metrics.LPCounters
 	h.lp.Step(0, nil, true, nil, &st)
 	// y stays 0 on settle (and=0), so nothing recorded yet; force b high
 	// then and high then y high across steps.

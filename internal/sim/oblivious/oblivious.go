@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -45,6 +46,11 @@ type Config struct {
 	Watch []circuit.GateID
 	// Cost prices per-level work for the modeled critical path.
 	Cost stats.CostModel
+	// Metrics receives per-worker counters and barrier globals; nil uses a
+	// private registry.
+	Metrics metrics.Sink
+	// Tracer, when non-nil, records one evaluate span per worker per level.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of an oblivious run.
@@ -72,6 +78,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 	}
 	if cfg.Cost == (stats.CostModel{}) {
 		cfg.Cost = stats.DefaultCostModel()
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("oblivious")
 	}
 	st := c.ComputeStats()
 	if st.Latches > 0 {
@@ -109,7 +119,13 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 	}
 
 	res := &Result{}
-	res.Stats.LPs = make([]stats.LPStats, cfg.Workers)
+	blocks := make([]*metrics.LPBlock, cfg.Workers)
+	shards := make([]*trace.Shard, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		blocks[w] = sink.LP(w)
+		shards[w] = cfg.Tracer.Shard(fmt.Sprintf("worker %d", w))
+	}
+	globals := sink.Globals()
 	var rec trace.Recorder
 
 	// Group stimulus changes by boundary time.
@@ -128,21 +144,23 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 	// evalSlice evaluates one contiguous chunk of a level into newVals.
 	newQ := make([]logic.Value, len(c.Gates))
 	newClk := make([]logic.Value, len(c.Gates))
-	evalSlice := func(w int, gates []circuit.GateID, scratch *[]logic.Value) {
+	evalSlice := func(w int, t circuit.Tick, gates []circuit.GateID, scratch *[]logic.Value) {
+		begin := shards[w].Now()
 		for _, g := range gates {
 			out, cs, buf := circuit.EvalGate(c, g, val, prevClk, *scratch)
 			*scratch = buf
 			newQ[g] = out
 			newClk[g] = cs
-			res.Stats.LPs[w].Evaluations++
+			blocks[w].Evaluations++
 		}
+		shards[w].Span(trace.PhaseEvaluate, begin, t)
 	}
 	scratches := make([][]logic.Value, cfg.Workers)
 
 	// runLevel evaluates a level (in parallel when configured) and commits.
-	runLevel := func(gates []circuit.GateID) {
+	runLevel := func(t circuit.Tick, gates []circuit.GateID) {
 		if cfg.Workers == 1 || len(gates) < 2*cfg.Workers {
-			evalSlice(0, gates, &scratches[0])
+			evalSlice(0, t, gates, &scratches[0])
 		} else {
 			var wg gosync.WaitGroup
 			chunk := (len(gates) + cfg.Workers - 1) / cfg.Workers
@@ -158,18 +176,20 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 				wg.Add(1)
 				go func(w, lo, hi int) {
 					defer wg.Done()
-					evalSlice(w, gates[lo:hi], &scratches[w])
+					metrics.Do(sink, "oblivious", w, "eval", func() {
+						evalSlice(w, t, gates[lo:hi], &scratches[w])
+					})
 				}(w, lo, hi)
 			}
 			wg.Wait()
 		}
-		res.Stats.Barriers++
+		globals.Barriers++
 		// Commit. Per-level worst-case chunk cost models the critical path.
 		maxChunk := len(gates)
 		if cfg.Workers > 1 {
 			maxChunk = (len(gates) + cfg.Workers - 1) / cfg.Workers
 		}
-		res.Stats.ModeledCritical += float64(maxChunk) * cfg.Cost.EvalCost
+		globals.ModeledCriticalNs += float64(maxChunk) * cfg.Cost.EvalCost
 		for _, g := range gates {
 			val[g] = newQ[g]
 			prevClk[g] = newClk[g]
@@ -178,16 +198,17 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 
 	for _, b := range bounds {
 		res.Cycles++
+		blocks[0].Steps++
 		for _, ch := range b.changes {
 			val[ch.Input] = cfg.System.Project(ch.Value)
 		}
 		// Sequential elements sample the previous boundary's settled data
 		// before the combinational sweep recomputes it.
 		if len(seqGates) > 0 {
-			runLevel(seqGates)
+			runLevel(b.t, seqGates)
 		}
 		for _, level := range combLevels {
-			runLevel(level)
+			runLevel(b.t, level)
 		}
 		for _, g := range watched {
 			rec.Record(b.t, g, val[g])
@@ -211,6 +232,6 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 
 	res.Values = val
 	res.Waveform = wf
-	res.Stats.Wall = time.Since(start)
+	res.Stats = stats.Collect(sink, time.Since(start))
 	return res, nil
 }

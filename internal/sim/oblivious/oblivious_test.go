@@ -117,7 +117,7 @@ func TestActivityCrossover(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return float64(ref.Stats.Evaluations) / float64(ob.Stats.Total().Evaluations)
+		return float64(ref.Counters.Evaluations) / float64(ob.Stats.Total().Evaluations)
 	}
 	low := ratio(0.02)
 	high := ratio(1.0)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/eventq"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -55,20 +56,11 @@ type Config struct {
 	Cost stats.CostModel
 	// MaxEvents aborts runaway simulations (oscillators); 0 means no limit.
 	MaxEvents uint64
-}
-
-// Stats counts the work a run performed.
-type Stats struct {
-	// EventsApplied is the number of net value changes committed.
-	EventsApplied uint64
-	// Evaluations is the number of gate evaluations performed.
-	Evaluations uint64
-	// EventsScheduled is the number of future events enqueued.
-	EventsScheduled uint64
-	// Timesteps is the number of distinct simulated times processed.
-	Timesteps uint64
-	// EvalsByGate holds per-gate evaluation counts when profiling.
-	EvalsByGate []uint64
+	// Metrics receives the run's work counters; nil uses a private
+	// registry (the counters still come back in Result.Counters).
+	Metrics metrics.Sink
+	// Tracer, when non-nil, records one evaluate span per timestep.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of a run.
@@ -82,7 +74,12 @@ type Result struct {
 	// CriticalPath is the data-dependency makespan in model nanoseconds
 	// (0 unless Config.CriticalPath was set).
 	CriticalPath float64
-	Stats        Stats
+	// Counters is the run's work tally. Steps counts distinct simulated
+	// times processed; EventsApplied counts committed net changes only
+	// (same-value deliveries are filtered before counting).
+	Counters metrics.LPCounters
+	// EvalsByGate holds per-gate evaluation counts when profiling.
+	EvalsByGate []uint64
 }
 
 // event is a scheduled net value change. compl carries the event's
@@ -108,6 +105,12 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	if cfg.Cost == (stats.CostModel{}) {
 		cfg.Cost = stats.DefaultCostModel()
 	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("seq")
+	}
+	blk := sink.LP(0)
+	shard := cfg.Tracer.Shard("lp 0")
 
 	val, prevClk := circuit.InitState(c, cfg.System)
 	projected := make([]logic.Value, len(val))
@@ -133,7 +136,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 
 	res := &Result{}
 	if cfg.Profile {
-		res.Stats.EvalsByGate = make([]uint64, len(c.Gates))
+		res.EvalsByGate = make([]uint64, len(c.Gates))
 	}
 	var rec trace.Recorder
 
@@ -160,9 +163,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	// pass that establishes correct steady state from the initial values.
 	step := func(t circuit.Tick, initial bool) error {
 		epoch++
-		res.Stats.Timesteps++
+		blk.Steps++
 		endTime = t
 		dirty = dirty[:0]
+		begin := shard.Now()
+		applied := uint64(0)
 
 		// Phase 1: apply all value changes for time t.
 		for {
@@ -182,7 +187,8 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			if lastCompl != nil {
 				lastCompl[ev.gate] = ev.compl
 			}
-			res.Stats.EventsApplied++
+			blk.EventsApplied++
+			applied++
 			if isWatched[ev.gate] {
 				rec.Record(t, ev.gate, ev.value)
 			}
@@ -207,9 +213,9 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			var out, clkSample logic.Value
 			out, clkSample, scratch = circuit.EvalGate(c, g, val, prevClk, scratch)
 			prevClk[g] = clkSample
-			res.Stats.Evaluations++
+			blk.Evaluations++
 			if cfg.Profile {
-				res.Stats.EvalsByGate[g]++
+				res.EvalsByGate[g]++
 			}
 			var compl float64
 			if lastCompl != nil {
@@ -231,28 +237,37 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			}
 			projected[g] = out
 			q.Push(uint64(t+c.Gates[g].Delay), event{gate: g, value: out, compl: compl})
-			res.Stats.EventsScheduled++
+			blk.EventsScheduled++
 		}
+		blk.Hist(metrics.HistStepEvents).Observe(applied)
+		shard.Span(trace.PhaseEvaluate, begin, t)
 		return nil
 	}
 
-	if err := step(0, true); err != nil {
-		return nil, err
-	}
-	for q.Len() > 0 {
-		t64, _ := q.PeekTime()
-		t := circuit.Tick(t64)
-		if t > until {
-			break
+	var runErr error
+	metrics.Do(sink, "seq", 0, "run", func() {
+		if runErr = step(0, true); runErr != nil {
+			return
 		}
-		if err := step(t, false); err != nil {
-			return nil, err
+		for q.Len() > 0 {
+			t64, _ := q.PeekTime()
+			t := circuit.Tick(t64)
+			if t > until {
+				break
+			}
+			if runErr = step(t, false); runErr != nil {
+				return
+			}
 		}
+	})
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	res.Values = val
 	res.Waveform = trace.Merge(&rec)
 	res.EndTime = endTime
+	res.Counters = blk.LPCounters
 	return res, nil
 }
 

@@ -273,15 +273,15 @@ func TestStatsAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := res.Stats
-	if st.EventsApplied == 0 || st.Evaluations == 0 || st.Timesteps == 0 {
+	st := res.Counters
+	if st.EventsApplied == 0 || st.Evaluations == 0 || st.Steps == 0 {
 		t.Fatalf("stats are zero: %+v", st)
 	}
-	if st.EvalsByGate == nil {
+	if res.EvalsByGate == nil {
 		t.Fatal("profile not collected")
 	}
 	var sum uint64
-	for _, n := range st.EvalsByGate {
+	for _, n := range res.EvalsByGate {
 		sum += n
 	}
 	if sum != st.Evaluations {
@@ -397,7 +397,7 @@ func TestCriticalPathBounds(t *testing.T) {
 	// The makespan with unlimited processors can never exceed the serial
 	// time, and must be at least one evaluation unit deep.
 	m := stats.DefaultCostModel()
-	seqTime := stats.SequentialTime(m, res.Stats.Evaluations, res.Stats.EventsApplied, res.Stats.EventsScheduled)
+	seqTime := stats.SequentialTime(m, res.Counters.Evaluations, res.Counters.EventsApplied, res.Counters.EventsScheduled)
 	if res.CriticalPath > seqTime {
 		t.Fatalf("critical path %f exceeds serial time %f", res.CriticalPath, seqTime)
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/eventq"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -48,6 +49,12 @@ type Config struct {
 	Cost stats.CostModel
 	// MaxEvents aborts runaway simulations; 0 means no limit.
 	MaxEvents uint64
+	// Metrics receives per-LP counters and barrier globals; nil uses a
+	// private registry.
+	Metrics metrics.Sink
+	// Tracer, when non-nil, records per-LP apply/evaluate spans and
+	// coordinator barrier spans.
+	Tracer *trace.Tracer
 	// Rebalance enables dynamic load balancing, the Section VI proposal
 	// "dynamic load balancing is being considered to react to variations
 	// in computational workload": between global steps, gates migrate from
@@ -93,7 +100,8 @@ type lp struct {
 	stamp   []uint64
 	scratch []logic.Value
 	rec     trace.Recorder
-	st      stats.LPStats
+	st      *metrics.LPBlock
+	sh      *trace.Shard
 	// outbox[dst] accumulates dirty-gate notifications for LP dst during
 	// phase A; dst drains it in phase B. Only the owner writes, only dst
 	// reads, and the phases are barrier-separated.
@@ -121,6 +129,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 	if cfg.Cost == (stats.CostModel{}) {
 		cfg.Cost = stats.DefaultCostModel()
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("sync")
 	}
 	start := time.Now()
 
@@ -165,8 +177,12 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			q:      eventq.New[event](cfg.Queue),
 			stamp:  make([]uint64, len(c.Gates)),
 			outbox: make([][]circuit.GateID, numLPs),
+			st:     sink.LP(i),
+			sh:     cfg.Tracer.Shard(fmt.Sprintf("lp %d", i)),
 		}
 	}
+	globals := sink.Globals()
+	coord := cfg.Tracer.Shard("coordinator")
 	for _, ch := range stim.Changes {
 		if ch.Time > until {
 			continue
@@ -181,6 +197,8 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	// phaseA applies this LP's events at time t and routes notifications.
 	phaseA := func(l *lp, t circuit.Tick) {
 		l.phaseWork = 0
+		begin := l.sh.Now()
+		applied := uint64(0)
 		for {
 			pt, ok := l.q.PeekTime()
 			if !ok || circuit.Tick(pt) != t {
@@ -189,6 +207,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			_, ev, _ := l.q.PopMin()
 			totalEvents.Add(1)
 			l.st.EventsApplied++
+			applied++
 			l.phaseWork += cfg.Cost.EventCost
 			if val[ev.gate] == ev.value {
 				continue
@@ -206,11 +225,14 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 				}
 			}
 		}
+		l.st.Hist(metrics.HistStepEvents).Observe(applied)
+		l.sh.Span(trace.PhaseApply, begin, t)
 	}
 
 	// phaseB drains notifications and evaluates affected gates.
 	phaseB := func(l *lp, t circuit.Tick, initial bool) {
 		l.phaseWork = 0
+		begin := l.sh.Now()
 		l.dirty = l.dirty[:0]
 		if initial {
 			// Every local gate is evaluated regardless of notifications,
@@ -263,6 +285,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			l.phaseWork += cfg.Cost.EventCost
 		}
 		l.st.Steps++
+		l.sh.Span(trace.PhaseEvaluate, begin, t)
 	}
 
 	// runPhase executes one phase on every LP concurrently and waits for
@@ -270,30 +293,38 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	// use the fork-join goroutine pattern: each LP's work is independent
 	// within a phase (owner-only writes, barrier-separated reads).
 	runPhase := func(t circuit.Tick, phase int) {
+		begin := coord.Now()
 		var pw gosync.WaitGroup
 		for _, l := range lps {
 			pw.Add(1)
 			go func(l *lp) {
 				defer pw.Done()
-				switch phase {
-				case 0:
-					phaseA(l, t)
-				case 1:
-					phaseB(l, t, false)
-				case 2:
-					phaseB(l, t, true)
+				name := "apply"
+				if phase != 0 {
+					name = "eval"
 				}
+				metrics.Do(sink, "sync", l.id, name, func() {
+					switch phase {
+					case 0:
+						phaseA(l, t)
+					case 1:
+						phaseB(l, t, false)
+					case 2:
+						phaseB(l, t, true)
+					}
+				})
 			}(l)
 		}
 		pw.Wait()
-		run.Stats.Barriers++
+		coord.Span(trace.PhaseBarrier, begin, t)
+		globals.Barriers++
 		var max float64
 		for _, l := range lps {
 			if l.phaseWork > max {
 				max = l.phaseWork
 			}
 		}
-		run.Stats.ModeledCritical += max
+		globals.ModeledCriticalNs += max
 	}
 
 	clearOutboxes := func() {
@@ -420,11 +451,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	recs := make([]*trace.Recorder, numLPs)
 	for i, l := range lps {
 		recs[i] = &l.rec
-		run.Stats.LPs = append(run.Stats.LPs, l.st)
 	}
 	run.Waveform = trace.Merge(recs...)
 	run.EndTime = endTime
 	run.Migrations = migrations
-	run.Stats.Wall = time.Since(start)
+	sink.SetGauge("migrations", float64(migrations))
+	run.Stats = stats.Collect(sink, time.Since(start))
 	return run, nil
 }

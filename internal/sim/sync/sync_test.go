@@ -141,8 +141,8 @@ func TestSingleLPDegeneratesToSequentialWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := res.Stats.Total()
-	if total.Evaluations != ref.Stats.Evaluations {
-		t.Fatalf("1-LP evaluations %d != sequential %d", total.Evaluations, ref.Stats.Evaluations)
+	if total.Evaluations != ref.Counters.Evaluations {
+		t.Fatalf("1-LP evaluations %d != sequential %d", total.Evaluations, ref.Counters.Evaluations)
 	}
 	if total.MessagesSent != 0 {
 		t.Fatalf("1-LP run sent %d messages", total.MessagesSent)

@@ -8,8 +8,8 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/eventq"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/sim/kernel"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -56,9 +56,10 @@ type tlp struct {
 	sh  *shared
 	cfg Config
 	k   *kernel.LP
-	q   eventq.Queue[qevent]
-	rec trace.Recorder
-	st  stats.LPStats
+	q    eventq.Queue[qevent]
+	rec  trace.Recorder
+	st   *metrics.LPBlock
+	trsh *trace.Shard
 
 	lvt         circuit.Tick
 	gvt         circuit.Tick // last observed GVT
@@ -90,6 +91,8 @@ func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
 		k:    k,
 		q:    eventq.New[qevent](cfg.Queue),
 		dead: map[uint64]bool{},
+		st:   sh.sink.LP(id),
+		trsh: sh.tracer.Shard(fmt.Sprintf("lp %d", id)),
 	}
 	if cfg.StateSaving == FullCopy {
 		l.relevant = k.RelevantNets()
@@ -175,16 +178,19 @@ func (l *tlp) popBatch(t circuit.Tick) []qevent {
 
 // execStep speculatively executes the events at time t.
 func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
+	begin := l.trsh.Now()
 	s := &step{time: t, inputs: append([]qevent(nil), events...)}
 	l.kevs = l.kevs[:0]
 	for _, ev := range events {
 		l.kevs = append(l.kevs, kernel.Event{Gate: ev.gate, Value: ev.value})
 	}
 	if !initial && l.cfg.StateSaving == FullCopy {
+		snapBegin := l.trsh.Now()
 		s.snap = &kernel.Snapshot{}
 		l.k.TakeSnapshot(l.relevant, s.snap)
 		l.st.StateSaves++
 		l.st.StateSavedWords += s.snap.Words()
+		l.trsh.Span(trace.PhaseStateSave, snapBegin, t)
 	}
 	l.curStep = s
 	var undo *kernel.Undo
@@ -193,15 +199,17 @@ func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 		s.undo = undo
 	}
 	if l.cfg.IntraWorkers > 1 {
-		maxChunk := l.k.StepParallel(t, l.kevs, initial, undo, &l.st, l.cfg.IntraWorkers, l.outBuf, l.clkBuf)
+		maxChunk := l.k.StepParallel(t, l.kevs, initial, undo, &l.st.LPCounters, l.cfg.IntraWorkers, l.outBuf, l.clkBuf)
 		l.critEval += float64(maxChunk)*l.cfg.Cost.EvalCost + l.cfg.Cost.Barrier(l.cfg.IntraWorkers)
 	} else {
-		l.k.Step(t, l.kevs, initial, undo, &l.st)
+		l.k.Step(t, l.kevs, initial, undo, &l.st.LPCounters)
 	}
 	if undo != nil {
 		l.st.StateSaves++
 		l.st.StateSavedWords += undo.Words()
 	}
+	l.st.Hist(metrics.HistStepEvents).Observe(uint64(len(events)))
+	l.trsh.Span(trace.PhaseEvaluate, begin, t)
 	l.curStep = nil
 	if !initial {
 		l.steps = append(l.steps, s)
@@ -217,7 +225,10 @@ func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 func (l *tlp) execInitial() {
 	s := &step{time: 0}
 	l.curStep = s
-	l.k.Step(0, l.initialEvents, true, nil, &l.st)
+	begin := l.trsh.Now()
+	l.k.Step(0, l.initialEvents, true, nil, &l.st.LPCounters)
+	l.st.Hist(metrics.HistStepEvents).Observe(uint64(len(l.initialEvents)))
+	l.trsh.Span(trace.PhaseEvaluate, begin, 0)
 	l.curStep = nil
 	l.lvt = 0
 }
@@ -235,6 +246,8 @@ func (l *tlp) rollback(ts circuit.Tick) {
 	}
 	suffix := l.steps[idx:]
 	l.st.Rollbacks++
+	begin := l.trsh.Now()
+	undoneBefore := l.st.EventsRolledBack
 
 	// Restore state.
 	if l.cfg.StateSaving == FullCopy {
@@ -247,7 +260,7 @@ func (l *tlp) rollback(ts circuit.Tick) {
 		for i, s := range suffix {
 			undos[i] = s.undo
 		}
-		l.k.Rollback(undos, &l.st)
+		l.k.Rollback(undos, &l.st.LPCounters)
 	}
 
 	// Retract internally scheduled events and cancel sent messages.
@@ -282,6 +295,8 @@ func (l *tlp) rollback(ts circuit.Tick) {
 	} else {
 		l.lvt = 0
 	}
+	l.st.Hist(metrics.HistRollbackDepth).Observe(l.st.EventsRolledBack - undoneBefore)
+	l.trsh.Span(trace.PhaseRollback, begin, ts)
 }
 
 // sendAnti transmits an anti-message for a previously sent message.
@@ -418,8 +433,10 @@ func (l *tlp) run() {
 		if l.sh.paused.Load() {
 			// Processing is frozen during GVT computation; keep serving
 			// rounds until released.
+			begin := l.trsh.Now()
 			var ok bool
 			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
+			l.trsh.Span(trace.PhaseBarrier, begin, trace.NoTick)
 			if !ok || !l.handleAll(l.buf) {
 				return
 			}
@@ -433,10 +450,12 @@ func (l *tlp) run() {
 			// sleep until messages (or a GVT round) arrive.
 			l.st.Blocks++
 			l.flushLazyBelowNext()
+			begin := l.trsh.Now()
 			l.sh.idle.Add(1)
 			var ok bool
 			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
 			l.sh.idle.Add(-1)
+			l.trsh.Span(trace.PhaseBlock, begin, trace.NoTick)
 			if !ok || !l.handleAll(l.buf) {
 				return
 			}

@@ -19,6 +19,9 @@ import (
 // cancellation flushing far harder than the default pacing. Correctness
 // must be untouched.
 func TestFrequentGVTStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in short mode")
+	}
 	c, err := gen.RandomSeq(gen.RandomConfig{Gates: 400, Inputs: 10, Outputs: 8, Seed: 77, FFRatio: 0.15})
 	if err != nil {
 		t.Fatal(err)

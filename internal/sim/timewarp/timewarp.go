@@ -30,6 +30,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/eventq"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/mpsc"
 	"repro/internal/partition"
 	"repro/internal/sim/kernel"
@@ -117,6 +118,12 @@ type Config struct {
 	Watch []circuit.GateID
 	// MaxEvents aborts runaway simulations; 0 means no limit.
 	MaxEvents uint64
+	// Metrics receives per-LP counters and GVT globals; nil uses a private
+	// registry.
+	Metrics metrics.Sink
+	// Tracer, when non-nil, records per-LP evaluate/rollback/block spans
+	// and coordinator GVT spans.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of an optimistic run.
@@ -165,6 +172,9 @@ type shared struct {
 	c       *circuit.Circuit
 	until   circuit.Tick
 	inboxes []*mpsc.Mailbox[msg]
+	sink    metrics.Sink
+	tracer  *trace.Tracer
+	coShard *trace.Shard
 	replies chan gvtReply
 	transit atomic.Int64
 	events  atomic.Uint64
@@ -210,6 +220,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	if cfg.Cost == (stats.CostModel{}) {
 		cfg.Cost = stats.DefaultCostModel()
 	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("timewarp")
+	}
 	start := time.Now()
 
 	p := cfg.Partition
@@ -220,7 +234,8 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		watched = c.Outputs
 	}
 
-	sh := &shared{cfg: cfg, c: c, until: until}
+	sh := &shared{cfg: cfg, c: c, until: until, sink: sink, tracer: cfg.Tracer}
+	sh.coShard = cfg.Tracer.Shard("coordinator")
 	sh.inboxes = make([]*mpsc.Mailbox[msg], n)
 	for i := range sh.inboxes {
 		sh.inboxes[i] = mpsc.New[msg]()
@@ -266,10 +281,16 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		wg.Add(1)
 		go func(l *tlp) {
 			defer wg.Done()
-			l.run()
+			metrics.Do(sink, "timewarp", l.id, "run", func() {
+				l.run()
+			})
 		}(l)
 	}
-	gvtRounds, finalGVT := coordinate(sh, lps)
+	var gvtRounds uint64
+	var finalGVT circuit.Tick
+	metrics.Do(sink, "timewarp", -1, "coordinate", func() {
+		gvtRounds, finalGVT = coordinate(sh, lps)
+	})
 	wg.Wait()
 
 	if sh.abort.Load() {
@@ -286,15 +307,17 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	recs := make([]*trace.Recorder, n)
 	for i, l := range lps {
 		recs[i] = &l.rec
-		res.Stats.LPs = append(res.Stats.LPs, l.st)
 		res.IntraCritical = append(res.IntraCritical, l.critEval)
 		if l.lvt != infTick && l.lvt > res.EndTime {
 			res.EndTime = l.lvt
 		}
 	}
 	res.Waveform = trace.Merge(recs...)
-	res.Stats.GVTRounds = gvtRounds
-	res.Stats.Wall = time.Since(start)
+	sink.Globals().GVTRounds = gvtRounds
+	if finalGVT != infTick {
+		sink.SetGauge("final_gvt", float64(finalGVT))
+	}
+	res.Stats = stats.Collect(sink, time.Since(start))
 	return res, nil
 }
 
@@ -326,6 +349,7 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 		}
 		lastEvents = sh.events.Load()
 		// Freeze processing, then repeat handling rounds to quiescence.
+		roundBegin := sh.coShard.Now()
 		sh.paused.Store(true)
 		var localMins []circuit.Tick
 		for {
@@ -353,6 +377,12 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 			if m < gvt {
 				gvt = m
 			}
+		}
+		if gvt == infTick {
+			sh.coShard.Span(trace.PhaseGVT, roundBegin, trace.NoTick)
+		} else {
+			sh.coShard.Span(trace.PhaseGVT, roundBegin, gvt)
+			sh.coShard.Sample("gvt", float64(gvt))
 		}
 		if gvt > sh.until {
 			for _, ib := range sh.inboxes {

@@ -1,0 +1,81 @@
+package differ
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDifferentialCrossEngine runs the randomized cross-engine harness:
+// every trial generates a fresh circuit, stimulus, engine, partition, and
+// LP count, and checks the engine's waveform and final values against the
+// sequential reference. Failures carry a self-contained repro.
+func TestDifferentialCrossEngine(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	cfg := DiffConfig{Seed: 1995}
+	for i := 0; i < trials; i++ {
+		tr, err := GenTrial(cfg, i)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		t.Run(fmt.Sprintf("trial-%02d-%s-%s", i, tr.Opts.Engine, tr.Opts.Partition), func(t *testing.T) {
+			t.Parallel()
+			if err := tr.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialPerEngineCoverage pins one deterministic trial batch per
+// engine, so a regression in a single engine is reported by name even if
+// the randomized mix above happens to under-sample it.
+func TestDifferentialPerEngineCoverage(t *testing.T) {
+	per := 6
+	if testing.Short() {
+		per = 2
+	}
+	for _, eng := range DiffEngines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DiffConfig{Seed: 7 + int64(eng), Engines: []core.Engine{eng}}
+			for i := 0; i < per; i++ {
+				tr, err := GenTrial(cfg, i)
+				if err != nil {
+					t.Fatalf("trial %d: %v", i, err)
+				}
+				if err := tr.Check(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestGenTrialDeterministic guards the repro contract: the same (seed,
+// index) must regenerate the identical trial.
+func TestGenTrialDeterministic(t *testing.T) {
+	cfg := DiffConfig{Seed: 42}
+	a, err := GenTrial(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTrial(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec != b.Spec || a.Seed != b.Seed {
+		t.Fatalf("trial not deterministic:\n%s\n%s", a.Spec, b.Spec)
+	}
+	if fmt.Sprintf("%+v", a.Opts) != fmt.Sprintf("%+v", b.Opts) {
+		t.Fatalf("options not deterministic: %+v vs %+v", a.Opts, b.Opts)
+	}
+	if len(a.Stim.Changes) != len(b.Stim.Changes) {
+		t.Fatalf("stimulus not deterministic: %d vs %d changes", len(a.Stim.Changes), len(b.Stim.Changes))
+	}
+}

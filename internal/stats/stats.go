@@ -1,80 +1,27 @@
-// Package stats collects per-logical-process work counters and converts
-// them into modeled execution times.
+// Package stats converts the per-logical-process work counters of package
+// metrics into modeled execution times.
 //
 // The paper's Figure 1 reports wall-clock speedups measured on 1990s
 // multiprocessors (BBN GP1000, iPSC, workstation networks). This
 // reproduction runs on whatever host it is given — possibly a single core —
 // so raw wall-clock cannot show parallel speedup. Instead, every engine
 // counts the work each LP performs (evaluations, queue operations,
-// cross-LP messages, null messages, rollbacks, state saving, barriers) and
-// a cost model prices those counters into a modeled parallel runtime. This
-// is the performance-prediction methodology of the synchronous-simulation
-// literature the paper cites (Noble et al.): the absolute numbers are
-// model-dependent, but the relative shape — which algorithm wins, where the
-// crossovers fall — is what the experiments reproduce.
+// cross-LP messages, null messages, rollbacks, state saving, barriers) in
+// the unified metrics registry, and a cost model prices those counters
+// into a modeled parallel runtime. This is the performance-prediction
+// methodology of the synchronous-simulation literature the paper cites
+// (Noble et al.): the absolute numbers are model-dependent, but the
+// relative shape — which algorithm wins, where the crossovers fall — is
+// what the experiments reproduce.
 package stats
 
 import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/metrics"
 )
-
-// LPStats counts the work one logical process performed.
-type LPStats struct {
-	// Evaluations is the number of gate evaluations (including Time Warp
-	// re-executions after rollback).
-	Evaluations uint64
-	// EventsApplied is the number of net-change events consumed.
-	EventsApplied uint64
-	// EventsScheduled is the number of future events enqueued.
-	EventsScheduled uint64
-	// MessagesSent / MessagesRecv count cross-LP value messages.
-	MessagesSent uint64
-	MessagesRecv uint64
-	// NullsSent / NullsRecv count conservative null messages.
-	NullsSent uint64
-	NullsRecv uint64
-	// Rollbacks is the number of rollback episodes (Time Warp).
-	Rollbacks uint64
-	// EventsRolledBack counts events undone by rollbacks.
-	EventsRolledBack uint64
-	// AntiMessagesSent / AntiMessagesRecv count cancellation messages.
-	AntiMessagesSent uint64
-	AntiMessagesRecv uint64
-	// StateSaves counts state-saving operations; StateSavedWords the
-	// volume saved (in value-words), which differs sharply between full
-	// copy and incremental saving.
-	StateSaves      uint64
-	StateSavedWords uint64
-	// Steps is the number of timestep executions (including re-executions).
-	Steps uint64
-	// Blocks counts blocked waits: episodes where the LP had events it was
-	// not allowed to process (conservative input-waiting rule) or nothing
-	// to do, and parked until a message arrived. The busy model prices
-	// each episode as one message round-trip of latency — the proxy for
-	// the idle time the input waiting rule costs conservative simulation.
-	Blocks uint64
-}
-
-// Add accumulates other into s.
-func (s *LPStats) Add(other LPStats) {
-	s.Evaluations += other.Evaluations
-	s.EventsApplied += other.EventsApplied
-	s.EventsScheduled += other.EventsScheduled
-	s.MessagesSent += other.MessagesSent
-	s.MessagesRecv += other.MessagesRecv
-	s.NullsSent += other.NullsSent
-	s.NullsRecv += other.NullsRecv
-	s.Rollbacks += other.Rollbacks
-	s.EventsRolledBack += other.EventsRolledBack
-	s.AntiMessagesSent += other.AntiMessagesSent
-	s.AntiMessagesRecv += other.AntiMessagesRecv
-	s.StateSaves += other.StateSaves
-	s.StateSavedWords += other.StateSavedWords
-	s.Steps += other.Steps
-	s.Blocks += other.Blocks
-}
 
 // CostModel prices LP work counters in abstract nanoseconds. The defaults
 // are loosely calibrated to a 1990s-class multiprocessor node: evaluation
@@ -107,7 +54,8 @@ type CostModel struct {
 	// GVTCost prices one global-virtual-time computation round, scaled the
 	// same way as a barrier.
 	GVTCost float64
-	// BlockCost prices one blocked-wait episode (see LPStats.Blocks).
+	// BlockCost prices one blocked-wait episode (see
+	// metrics.LPCounters.Blocks).
 	BlockCost float64
 }
 
@@ -135,7 +83,7 @@ func DefaultCostModel() CostModel {
 
 // Busy prices the pure computation an LP performed (no barriers/GVT, which
 // are global and added by the engine-specific run summaries).
-func (m CostModel) Busy(s LPStats) float64 {
+func (m CostModel) Busy(s metrics.LPCounters) float64 {
 	return m.EvalCost*float64(s.Evaluations) +
 		m.EventCost*float64(s.EventsApplied+s.EventsScheduled) +
 		m.MsgCost*float64(s.MessagesSent+s.MessagesRecv) +
@@ -164,9 +112,10 @@ func ceilLog2(p int) float64 {
 	return math.Ceil(math.Log2(float64(p)))
 }
 
-// RunStats aggregates one parallel run.
+// RunStats aggregates one run: a snapshot of the metrics registry in the
+// form the cost model prices.
 type RunStats struct {
-	LPs []LPStats
+	LPs []metrics.LPCounters
 	// Barriers counts global barrier episodes (synchronous engine).
 	Barriers uint64
 	// GVTRounds counts GVT computations (optimistic engine).
@@ -181,9 +130,27 @@ type RunStats struct {
 	Wall time.Duration
 }
 
+// Collect snapshots a metrics sink into RunStats and stamps the wall time
+// into the sink's globals. Engines call it once, after their worker
+// goroutines have joined.
+func Collect(m metrics.Sink, wall time.Duration) RunStats {
+	g := m.Globals()
+	g.WallNs = wall.Nanoseconds()
+	rs := RunStats{
+		Barriers:        g.Barriers,
+		GVTRounds:       g.GVTRounds,
+		ModeledCritical: g.ModeledCriticalNs,
+		Wall:            wall,
+	}
+	for i := 0; i < m.NumLPs(); i++ {
+		rs.LPs = append(rs.LPs, m.LP(i).LPCounters)
+	}
+	return rs
+}
+
 // Total sums the per-LP counters.
-func (r *RunStats) Total() LPStats {
-	var t LPStats
+func (r *RunStats) Total() metrics.LPCounters {
+	var t metrics.LPCounters
 	for _, lp := range r.LPs {
 		t.Add(lp)
 	}

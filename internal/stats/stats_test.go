@@ -4,35 +4,49 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"repro/internal/metrics"
 )
 
-func TestAddAccumulates(t *testing.T) {
-	a := LPStats{Evaluations: 1, MessagesSent: 2, Rollbacks: 3, Blocks: 4}
-	b := LPStats{Evaluations: 10, MessagesSent: 20, Rollbacks: 30, Blocks: 40}
-	a.Add(b)
-	if a.Evaluations != 11 || a.MessagesSent != 22 || a.Rollbacks != 33 || a.Blocks != 44 {
-		t.Fatalf("Add wrong: %+v", a)
+func TestCollectSnapshotsSink(t *testing.T) {
+	r := metrics.NewRegistry("sync")
+	r.LP(0).Evaluations = 5
+	r.LP(1).Evaluations = 7
+	g := r.Globals()
+	g.Barriers = 3
+	g.GVTRounds = 2
+	g.ModeledCriticalNs = 123
+	rs := Collect(r, 42*time.Millisecond)
+	if len(rs.LPs) != 2 || rs.Total().Evaluations != 12 {
+		t.Fatalf("LPs = %+v", rs.LPs)
+	}
+	if rs.Barriers != 3 || rs.GVTRounds != 2 || rs.ModeledCritical != 123 {
+		t.Fatalf("globals = %+v", rs)
+	}
+	if rs.Wall != 42*time.Millisecond || g.WallNs != rs.Wall.Nanoseconds() {
+		t.Fatalf("wall = %v (globals %d)", rs.Wall, g.WallNs)
 	}
 }
 
 func TestBusyMonotonicInEveryCounter(t *testing.T) {
 	m := DefaultCostModel()
-	base := LPStats{Evaluations: 10, EventsApplied: 10, MessagesSent: 2}
+	base := metrics.LPCounters{Evaluations: 10, EventsApplied: 10, MessagesSent: 2}
 	b0 := m.Busy(base)
-	inc := []func(*LPStats){
-		func(s *LPStats) { s.Evaluations++ },
-		func(s *LPStats) { s.EventsApplied++ },
-		func(s *LPStats) { s.EventsScheduled++ },
-		func(s *LPStats) { s.MessagesSent++ },
-		func(s *LPStats) { s.MessagesRecv++ },
-		func(s *LPStats) { s.NullsSent++ },
-		func(s *LPStats) { s.NullsRecv++ },
-		func(s *LPStats) { s.Rollbacks++ },
-		func(s *LPStats) { s.EventsRolledBack++ },
-		func(s *LPStats) { s.AntiMessagesSent++ },
-		func(s *LPStats) { s.AntiMessagesRecv++ },
-		func(s *LPStats) { s.StateSavedWords++ },
-		func(s *LPStats) { s.Blocks++ },
+	inc := []func(*metrics.LPCounters){
+		func(s *metrics.LPCounters) { s.Evaluations++ },
+		func(s *metrics.LPCounters) { s.EventsApplied++ },
+		func(s *metrics.LPCounters) { s.EventsScheduled++ },
+		func(s *metrics.LPCounters) { s.MessagesSent++ },
+		func(s *metrics.LPCounters) { s.MessagesRecv++ },
+		func(s *metrics.LPCounters) { s.NullsSent++ },
+		func(s *metrics.LPCounters) { s.NullsRecv++ },
+		func(s *metrics.LPCounters) { s.Rollbacks++ },
+		func(s *metrics.LPCounters) { s.EventsRolledBack++ },
+		func(s *metrics.LPCounters) { s.AntiMessagesSent++ },
+		func(s *metrics.LPCounters) { s.AntiMessagesRecv++ },
+		func(s *metrics.LPCounters) { s.StateSavedWords++ },
+		func(s *metrics.LPCounters) { s.Blocks++ },
 	}
 	for i, f := range inc {
 		s := base
@@ -55,12 +69,12 @@ func TestBarrierGrowsWithProcessors(t *testing.T) {
 
 func TestModeledTimeUsesBusiestLP(t *testing.T) {
 	m := DefaultCostModel()
-	r := RunStats{LPs: []LPStats{
+	r := RunStats{LPs: []metrics.LPCounters{
 		{Evaluations: 100},
 		{Evaluations: 400},
 		{Evaluations: 50},
 	}}
-	want := m.Busy(LPStats{Evaluations: 400})
+	want := m.Busy(metrics.LPCounters{Evaluations: 400})
 	if got := r.ModeledTime(m); got != want {
 		t.Fatalf("ModeledTime = %f, want %f", got, want)
 	}
@@ -93,7 +107,7 @@ func TestSequentialTimeAndSpeedup(t *testing.T) {
 
 func TestTotalSums(t *testing.T) {
 	f := func(a, b uint64) bool {
-		r := RunStats{LPs: []LPStats{{Evaluations: a}, {Evaluations: b}}}
+		r := RunStats{LPs: []metrics.LPCounters{{Evaluations: a}, {Evaluations: b}}}
 		return r.Total().Evaluations == a+b
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -102,7 +116,7 @@ func TestTotalSums(t *testing.T) {
 }
 
 func TestSummaryMentionsKeyCounters(t *testing.T) {
-	r := RunStats{LPs: []LPStats{{Evaluations: 7, Rollbacks: 3}}}
+	r := RunStats{LPs: []metrics.LPCounters{{Evaluations: 7, Rollbacks: 3}}}
 	s := r.Summary(DefaultCostModel())
 	for _, want := range []string{"evals=7", "rollbacks=3", "LPs=1", "modeled="} {
 		if !strings.Contains(s, want) {

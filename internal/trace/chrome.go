@@ -1,0 +1,338 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// This file records per-LP lifecycle spans and exports them in the Chrome
+// trace_event JSON format, loadable in chrome://tracing and Perfetto.
+// Each logical process is one "thread" of the trace; spans mark the
+// phases of the synchronization protocols — evaluation, blocked waits,
+// rollbacks, barriers, GVT rounds — so the overhead structure the paper
+// reasons about (Section V) is directly visible on a timeline.
+//
+// Recording is sharded: every LP goroutine appends to its own Shard with
+// no locking, and a nil *Shard is a no-op so engines pay only a nil check
+// when tracing is off. The span buffer is bounded; overflow increments a
+// drop counter instead of growing without limit.
+
+// Phase names a lifecycle span category.
+type Phase uint8
+
+// The span phases.
+const (
+	// PhaseEvaluate covers applying one timestep's events and evaluating
+	// the affected gates.
+	PhaseEvaluate Phase = iota
+	// PhaseApply covers the event-application half of a barrier-split
+	// timestep (synchronous engine phase A).
+	PhaseApply
+	// PhaseBlock covers a blocked wait for messages.
+	PhaseBlock
+	// PhaseRollback covers one Time Warp rollback episode.
+	PhaseRollback
+	// PhaseBarrier covers one global barrier (fork-join wait).
+	PhaseBarrier
+	// PhaseGVT covers one global-virtual-time or quiescence-detection
+	// round.
+	PhaseGVT
+	// PhaseStateSave covers snapshot-based state saving.
+	PhaseStateSave
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"evaluate", "apply", "block", "rollback", "barrier", "gvt", "state-save",
+}
+
+// String names the phase.
+func (p Phase) String() string {
+	if p < numPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// NoTick marks a span with no meaningful simulated time.
+const NoTick = circuit.Tick(^uint64(0))
+
+// Span is one recorded duration on a shard's timeline.
+type Span struct {
+	Phase Phase
+	// Start is the offset from the tracer epoch; Dur the span length.
+	Start time.Duration
+	Dur   time.Duration
+	// Tick is the simulated time the span worked on (NoTick if none).
+	Tick circuit.Tick
+}
+
+// sample is one counter-track data point (e.g. the GVT value over time).
+type sample struct {
+	name string
+	at   time.Duration
+	val  float64
+}
+
+// DefaultMaxSpans bounds each shard's buffer; one span is 40 bytes, so
+// the default caps a shard near 10 MB.
+const DefaultMaxSpans = 1 << 18
+
+// Tracer owns a run's span shards. Create one per run, hand each LP its
+// shard before the goroutines start, and WriteJSON after they join.
+type Tracer struct {
+	engine string
+	epoch  time.Time
+
+	mu     sync.Mutex
+	shards []*Shard
+	max    int
+}
+
+// NewTracer creates a tracer whose epoch is "now".
+func NewTracer(engine string) *Tracer {
+	return &Tracer{engine: engine, epoch: time.Now(), max: DefaultMaxSpans}
+}
+
+// SetMaxSpans overrides the per-shard span cap (before recording starts).
+func (t *Tracer) SetMaxSpans(n int) {
+	if n > 0 {
+		t.max = n
+	}
+}
+
+// Shard registers a new named timeline (one per LP, one per coordinator).
+// Safe to call from setup code; each returned shard must afterwards be
+// used by a single goroutine at a time. A nil tracer returns a nil shard,
+// which every recording method accepts as a no-op.
+func (t *Tracer) Shard(name string) *Shard {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Shard{tr: t, tid: len(t.shards) + 1, name: name, max: t.max}
+	t.shards = append(t.shards, s)
+	return s
+}
+
+// Shard is one timeline of the trace.
+type Shard struct {
+	tr      *Tracer
+	tid     int
+	name    string
+	max     int
+	spans   []Span
+	samples []sample
+	dropped uint64
+}
+
+// Now returns the current time, or the zero time on a nil shard — the
+// cheap guard that keeps disabled tracing free of clock reads.
+func (s *Shard) Now() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Span records a completed phase that began at start (a value from Now on
+// this shard). No-op on a nil shard.
+func (s *Shard) Span(p Phase, start time.Time, tick circuit.Tick) {
+	if s == nil {
+		return
+	}
+	if len(s.spans) >= s.max {
+		s.dropped++
+		return
+	}
+	s.spans = append(s.spans, Span{
+		Phase: p,
+		Start: start.Sub(s.tr.epoch),
+		Dur:   time.Since(start),
+		Tick:  tick,
+	})
+}
+
+// Sample records one data point of a named counter track (rendered as a
+// value-over-time chart by the trace viewer). No-op on a nil shard.
+func (s *Shard) Sample(name string, v float64) {
+	if s == nil {
+		return
+	}
+	if len(s.samples) >= s.max {
+		s.dropped++
+		return
+	}
+	s.samples = append(s.samples, sample{name: name, at: time.Since(s.tr.epoch), val: v})
+}
+
+// Len reports the number of recorded spans.
+func (s *Shard) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.spans)
+}
+
+// Dropped reports how many records the cap discarded.
+func (s *Shard) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// addSpan appends a prebuilt span, honoring the cap. It exists for tests
+// and fuzzing, which need to construct arbitrary span sequences without
+// real clock reads.
+func (s *Shard) addSpan(sp Span) {
+	if len(s.spans) >= s.max {
+		s.dropped++
+		return
+	}
+	s.spans = append(s.spans, sp)
+}
+
+// TotalSpans sums the recorded spans across shards.
+func (t *Tracer) TotalSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, s := range t.shards {
+		n += len(s.spans)
+	}
+	return n
+}
+
+// Dropped sums the drop counters across shards.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, s := range t.shards {
+		n += s.dropped
+	}
+	return n
+}
+
+// chromeEvent is one trace_event record. Fields follow the Chrome
+// Trace Event Format spec; ts and dur are in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON emits the trace in Chrome trace_event JSON object format.
+// Call only after every recording goroutine has joined.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil tracer")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprint(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Metadata: process named after the engine, one thread per shard.
+	if err := emit(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": t.engine},
+	}); err != nil {
+		return err
+	}
+	shards := append([]*Shard(nil), t.shards...)
+	sort.SliceStable(shards, func(i, j int) bool { return shards[i].tid < shards[j].tid })
+	for _, s := range shards {
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: s.tid,
+			Args: map[string]any{"name": s.name},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range shards {
+		for _, sp := range s.spans {
+			ev := chromeEvent{
+				Name: sp.Phase.String(),
+				Cat:  "sim",
+				Ph:   "X",
+				Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+				Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+				Pid:  1,
+				Tid:  s.tid,
+			}
+			if sp.Tick != NoTick {
+				ev.Args = map[string]any{"t": uint64(sp.Tick)}
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+		for _, c := range s.samples {
+			if err := emit(chromeEvent{
+				Name: c.name,
+				Ph:   "C",
+				Ts:   float64(c.at.Nanoseconds()) / 1e3,
+				Pid:  1,
+				Tid:  s.tid,
+				Args: map[string]any{c.name: c.val},
+			}); err != nil {
+				return err
+			}
+		}
+		if s.dropped > 0 {
+			if err := emit(chromeEvent{
+				Name: "dropped_records",
+				Ph:   "M",
+				Pid:  1,
+				Tid:  s.tid,
+				Args: map[string]any{"count": s.dropped},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprint(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// FuzzWriteChromeTrace drives the exporter with arbitrary span sequences —
+// phases beyond the enum, negative starts/durations, extreme ticks, spans
+// past the cap — and requires the output to always be valid JSON in the
+// trace_event object form. Run `go test -fuzz=FuzzWriteChromeTrace
+// ./internal/trace` to explore further.
+func FuzzWriteChromeTrace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19})
+	big := make([]byte, 400)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTracer("fuzz")
+		tr.SetMaxSpans(64)
+		shards := []*Shard{tr.Shard("lp 0"), tr.Shard("lp 1"), tr.Shard("")}
+		// Decode the input as a sequence of 20-byte span records:
+		// [shard, phase, 1]+start(8)+dur(8)+tick(2), with a counter sample
+		// every fourth record.
+		for i := 0; i+20 <= len(data); i += 20 {
+			rec := data[i : i+20]
+			sh := shards[int(rec[0])%len(shards)]
+			start := int64(binary.LittleEndian.Uint64(rec[2:10]))
+			dur := int64(binary.LittleEndian.Uint64(rec[10:18]))
+			tick := circuit.Tick(binary.LittleEndian.Uint16(rec[18:20]))
+			if rec[1]%8 == 7 {
+				tick = NoTick
+			}
+			if rec[0]%4 == 3 {
+				sh.Sample("v", float64(start)/3)
+				continue
+			}
+			sh.addSpan(Span{
+				Phase: Phase(rec[1]),
+				Start: time.Duration(start),
+				Dur:   time.Duration(dur),
+				Tick:  tick,
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+		}
+		// Metadata events (process + 3 threads) are always present.
+		if len(doc.TraceEvents) < 4 {
+			t.Fatalf("missing metadata events: %d", len(doc.TraceEvents))
+		}
+	})
+}

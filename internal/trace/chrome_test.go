@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilShardIsNoOp(t *testing.T) {
+	var s *Shard
+	start := s.Now()
+	if !start.IsZero() {
+		t.Fatal("nil shard Now should be zero")
+	}
+	s.Span(PhaseEvaluate, start, 0) // must not panic
+	s.Sample("gvt", 1)
+	if s.Len() != 0 || s.Dropped() != 0 {
+		t.Fatal("nil shard should report zero")
+	}
+	var tr *Tracer
+	if sh := tr.Shard("x"); sh != nil {
+		t.Fatal("nil tracer should hand out nil shards")
+	}
+	if tr.TotalSpans() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer totals should be zero")
+	}
+}
+
+// decodeTrace parses the emitted JSON and returns the traceEvents array.
+func decodeTrace(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := NewTracer("cmb")
+	lp0 := tr.Shard("lp 0")
+	lp1 := tr.Shard("lp 1")
+	co := tr.Shard("coordinator")
+
+	start := lp0.Now()
+	lp0.Span(PhaseEvaluate, start, 42)
+	lp0.Span(PhaseBlock, lp0.Now(), NoTick)
+	lp1.Span(PhaseRollback, lp1.Now(), 7)
+	co.Span(PhaseGVT, co.Now(), NoTick)
+	co.Sample("gvt", 42)
+
+	if tr.TotalSpans() != 4 {
+		t.Fatalf("TotalSpans = %d", tr.TotalSpans())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+
+	// 1 process_name + 3 thread_name + 4 spans + 1 counter sample.
+	if len(evs) != 9 {
+		t.Fatalf("got %d events:\n%s", len(evs), buf.String())
+	}
+	var phases, metas, counters int
+	seenEval := false
+	for _, ev := range evs {
+		switch ev["ph"] {
+		case "X":
+			phases++
+			if ev["name"] == "evaluate" {
+				seenEval = true
+				if args, ok := ev["args"].(map[string]any); !ok || args["t"] != float64(42) {
+					t.Errorf("evaluate args = %v", ev["args"])
+				}
+			}
+		case "M":
+			metas++
+		case "C":
+			counters++
+		}
+	}
+	if phases != 4 || metas != 4 || counters != 1 || !seenEval {
+		t.Fatalf("phases=%d metas=%d counters=%d eval=%v", phases, metas, counters, seenEval)
+	}
+	if !strings.Contains(buf.String(), `"name":"cmb"`) {
+		t.Error("process name missing")
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := NewTracer("seq")
+	tr.SetMaxSpans(3)
+	sh := tr.Shard("lp 0")
+	for i := 0; i < 10; i++ {
+		sh.Span(PhaseEvaluate, sh.Now(), NoTick)
+	}
+	if sh.Len() != 3 || sh.Dropped() != 7 {
+		t.Fatalf("len=%d dropped=%d", sh.Len(), sh.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropped_records") {
+		t.Error("dropped_records metadata missing")
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("tracer dropped = %d", tr.Dropped())
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < numPhases; p++ {
+		n := p.String()
+		if seen[n] {
+			t.Fatalf("duplicate phase name %q", n)
+		}
+		seen[n] = true
+	}
+	if Phase(200).String() != "phase(200)" {
+		t.Fatalf("unknown phase = %q", Phase(200).String())
+	}
+}
+
+func TestSpanTiming(t *testing.T) {
+	tr := NewTracer("seq")
+	sh := tr.Shard("lp 0")
+	start := sh.Now()
+	time.Sleep(2 * time.Millisecond)
+	sh.Span(PhaseEvaluate, start, NoTick)
+	sp := sh.spans[0]
+	if sp.Dur < time.Millisecond {
+		t.Fatalf("span duration = %v", sp.Dur)
+	}
+	if sp.Start < 0 {
+		t.Fatalf("span start = %v", sp.Start)
+	}
+}
