@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/benchsuite"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
@@ -149,5 +150,15 @@ func BenchmarkPartitionMethods(b *testing.B) {
 			}
 			b.ReportMetric(float64(cut), "cut-links")
 		})
+	}
+}
+
+// BenchmarkHotPaths runs the committed wall-clock baseline suite
+// (internal/benchsuite): allocation microbenchmarks for the per-event hot
+// paths plus one end-to-end run per engine. cmd/benchbaseline executes the
+// same suite to regenerate BENCH_parsim.json.
+func BenchmarkHotPaths(b *testing.B) {
+	for _, bm := range benchsuite.All() {
+		b.Run(bm.Name, bm.Fn)
 	}
 }

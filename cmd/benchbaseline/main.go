@@ -1,0 +1,130 @@
+// Command benchbaseline runs the repository's hot-path benchmark suite
+// (internal/benchsuite) via testing.Benchmark and writes the results as
+// BENCH_parsim.json — the committed wall-clock and allocation baseline
+// that performance PRs diff against.
+//
+// Usage:
+//
+//	go run ./cmd/benchbaseline [-benchtime 20x] [-filter Micro|Engine|all] [-o BENCH_parsim.json]
+//
+// The emitted JSON is deterministic in shape and ordering (one entry per
+// suite benchmark, suite order); the measured numbers naturally vary with
+// the machine, so diffs against the committed file are judged as ratios,
+// not byte equality. Regenerate on a quiet machine with:
+//
+//	go run ./cmd/benchbaseline -o BENCH_parsim.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/benchsuite"
+)
+
+// entry is one benchmark's measured baseline.
+type entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// baseline is the BENCH_parsim.json document.
+type baseline struct {
+	Command   string  `json:"command"`
+	Go        string  `json:"go"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	BenchTime string  `json:"benchtime"`
+	Results   []entry `json:"results"`
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "20x", "per-benchmark budget (testing -benchtime syntax)")
+	filter := flag.String("filter", "all", "which suite slice to run: all, micro, or engines")
+	out := flag.String("o", "BENCH_parsim.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	// testing.Benchmark honours the package-level -test.benchtime flag, so
+	// the flag set must be initialised and the value injected by name.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+	flag.Parse() // re-parse so the testing flags take effect
+
+	var suite []benchsuite.Benchmark
+	switch *filter {
+	case "all":
+		suite = benchsuite.All()
+	case "micro":
+		suite = benchsuite.Micro()
+	case "engines":
+		suite = benchsuite.Engines()
+	default:
+		fmt.Fprintf(os.Stderr, "benchbaseline: unknown -filter %q (want all, micro, or engines)\n", *filter)
+		os.Exit(2)
+	}
+
+	doc := baseline{
+		Command:   "go run ./cmd/benchbaseline",
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		BenchTime: *benchtime,
+	}
+	for _, bm := range suite {
+		fmt.Fprintf(os.Stderr, "running %-32s ", bm.Name)
+		r := testing.Benchmark(bm.Fn)
+		e := entry{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(r.Extra))
+			keys := make([]string, 0, len(r.Extra))
+			for k := range r.Extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				e.Extra[k] = r.Extra[k]
+			}
+		}
+		doc.Results = append(doc.Results, e)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d B/op %6d allocs/op\n",
+			e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(doc.Results))
+}

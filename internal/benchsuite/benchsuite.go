@@ -1,0 +1,293 @@
+// Package benchsuite defines the repository's wall-clock benchmark
+// baseline: allocation-counting microbenchmarks for the per-event hot
+// paths (kernel step, pending-event queues, a conservative round, an
+// optimistic run with rollbacks) plus one end-to-end run per engine.
+//
+// The suite is a plain data slice of named func(*testing.B) so the same
+// workloads run two ways: `go test -bench BenchmarkHotPaths` during
+// development, and cmd/benchbaseline, which executes the suite via
+// testing.Benchmark and emits BENCH_parsim.json — the committed baseline
+// every future performance PR diffs against.
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/sim/cmb"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/timewarp"
+	"repro/internal/vectors"
+)
+
+// Benchmark is one named entry of the suite.
+type Benchmark struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// All returns the full suite: microbenchmarks first, then the per-engine
+// end-to-end runs.
+func All() []Benchmark {
+	return append(Micro(), Engines()...)
+}
+
+// Micro returns the hot-path microbenchmarks.
+func Micro() []Benchmark {
+	out := []Benchmark{
+		{"KernelStep", BenchKernelStep},
+		{"KernelStepUndo", BenchKernelStepUndo},
+		{"CMBRound", BenchCMBRound},
+		{"TimeWarpRollback", BenchTimeWarpRollback},
+	}
+	for _, impl := range []eventq.Impl{eventq.ImplHeap, eventq.ImplCalendar, eventq.ImplWheel} {
+		impl := impl
+		out = append(out, Benchmark{
+			Name: "EventqPushPop/" + impl.String(),
+			Fn:   func(b *testing.B) { benchEventqPushPop(b, impl) },
+		})
+	}
+	return out
+}
+
+// Engines returns one end-to-end simulation benchmark per engine on a
+// fixed mid-sized workload, the per-engine rows of BENCH_parsim.json.
+func Engines() []Benchmark {
+	var out []Benchmark
+	for _, e := range core.Engines() {
+		e := e
+		out = append(out, Benchmark{
+			Name: "Engine/" + e.String(),
+			Fn:   func(b *testing.B) { benchEngine(b, e) },
+		})
+	}
+	return out
+}
+
+// kernelFixture builds a single-LP executor over a mid-sized DAG with two
+// alternating input patterns, so every benchmarked Step changes state.
+func kernelFixture(b *testing.B) (*kernel.LP, [2][]kernel.Event) {
+	b.Helper()
+	c, err := gen.RandomDAG(gen.RandomConfig{Gates: 400, Inputs: 16, Outputs: 8, Locality: 0.6, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner := make([]int, len(c.Gates))
+	own := make([]circuit.GateID, len(c.Gates))
+	for g := range own {
+		own[g] = circuit.GateID(g)
+	}
+	lp := kernel.New(c, owner, 0, logic.TwoValued, nil, own)
+	lp.Schedule = func(circuit.Tick, circuit.GateID, logic.Value) {}
+	lp.Send = func(int, circuit.Tick, circuit.GateID, logic.Value) {}
+	var evs [2][]kernel.Event
+	for i, in := range c.Inputs {
+		v := logic.FromBool(i%2 == 0)
+		evs[0] = append(evs[0], kernel.Event{Gate: in, Value: v})
+		evs[1] = append(evs[1], kernel.Event{Gate: in, Value: logic.Not(v)})
+	}
+	return lp, evs
+}
+
+// BenchKernelStep measures one warm LP timestep (apply + evaluate) with no
+// undo logging. The allocation-regression tests pin this at 0 allocs/op.
+func BenchKernelStep(b *testing.B) {
+	lp, evs := kernelFixture(b)
+	var st metrics.LPCounters
+	lp.Step(0, evs[0], true, nil, &st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := circuit.Tick(1)
+	for i := 0; i < b.N; i++ {
+		lp.Step(t, evs[i%2], false, nil, &st)
+		t++
+	}
+	b.ReportMetric(float64(st.Evaluations)/float64(b.N), "evals/op")
+}
+
+// BenchKernelStepUndo is the same step with incremental state saving into a
+// reused undo log — Time Warp's forward-path cost.
+func BenchKernelStepUndo(b *testing.B) {
+	lp, evs := kernelFixture(b)
+	var st metrics.LPCounters
+	lp.Step(0, evs[0], true, nil, &st)
+	var undo kernel.Undo
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := circuit.Tick(1)
+	for i := 0; i < b.N; i++ {
+		undo.Reset()
+		lp.Step(t, evs[i%2], false, &undo, &st)
+		t++
+	}
+}
+
+// benchEventqPushPop measures the steady-state pop-one/push-one cycle of a
+// pending-event set, including occasional pushes beyond the timing wheel's
+// horizon so the overflow promotion path is exercised.
+func benchEventqPushPop(b *testing.B, impl eventq.Impl) {
+	q := eventq.New[int](impl)
+	for i := 0; i < 512; i++ {
+		q.Push(uint64(i%61), i)
+	}
+	// Warm one full wrap so slot/bucket storage reaches steady state.
+	for i := 0; i < 4096; i++ {
+		t, v, _ := q.PopMin()
+		q.Push(t+1+uint64(v%7), v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, v, ok := q.PopMin()
+		if !ok {
+			b.Fatal("queue drained")
+		}
+		delta := uint64(1 + v%7)
+		if v%97 == 0 {
+			delta = 300 // beyond the wheel horizon: overflow then promote
+		}
+		q.Push(t+delta, v)
+	}
+}
+
+// cmbFixture is a shared conservative workload: a hot random DAG, an FM
+// partition, and a random stimulus, all prebuilt so the benchmark measures
+// the run itself.
+type runFixture struct {
+	c     *circuit.Circuit
+	stim  *vectors.Stimulus
+	until circuit.Tick
+	part  *partition.Partition
+}
+
+func newRunFixture(b *testing.B, gates, lps int, method partition.Method, seqCircuit bool) *runFixture {
+	b.Helper()
+	var (
+		c   *circuit.Circuit
+		err error
+	)
+	if seqCircuit {
+		c, err = gen.RandomSeq(gen.RandomConfig{Gates: gates, Inputs: 12, Outputs: 8, Locality: 0.6, Seed: 11, FFRatio: 0.15})
+	} else {
+		c, err = gen.RandomDAG(gen.RandomConfig{Gates: gates, Inputs: 12, Outputs: 8, Locality: 0.6, Seed: 11})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stim *vectors.Stimulus
+	if seqCircuit {
+		stim, err = vectors.Clocked(c, vectors.ClockedConfig{Clock: "clk", Cycles: 12, HalfPeriod: 25, Activity: 0.6, Seed: 11})
+	} else {
+		stim, err = vectors.Random(c, vectors.RandomConfig{Vectors: 12, Period: 30, Activity: 0.7, Seed: 11})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := partition.New(method, c, lps, partition.Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &runFixture{c: c, stim: stim, until: core.Horizon(c, stim), part: part}
+}
+
+// BenchCMBRound measures one full conservative (eager-null) run: every
+// event, cross-LP message, and null message of the workload. B/op and
+// allocs/op here are the conservative engine's per-round garbage bill.
+func BenchCMBRound(b *testing.B) {
+	fx := newRunFixture(b, 300, 8, partition.MethodFM, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nulls uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cmb.Run(fx.c, fx.stim, fx.until, cmb.Config{
+			Partition: fx.part, Mode: cmb.NullEager, System: logic.TwoValued,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nulls = res.Stats.Total().NullsSent
+	}
+	b.ReportMetric(float64(nulls), "nulls/run")
+}
+
+// BenchTimeWarpRollback measures a full optimistic run on a clocked
+// sequential circuit under a contiguous partition — a deliberately bad cut
+// whose stragglers force real rollbacks, so state saving, rollback, and
+// cancellation all appear in the per-op allocation bill.
+func BenchTimeWarpRollback(b *testing.B) {
+	fx := newRunFixture(b, 250, 4, partition.MethodContiguous, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rollbacks, undone uint64
+	for i := 0; i < b.N; i++ {
+		// GVT every 500µs (vs the 50ms default) so fossil collection — and
+		// with it history recycling — runs several times within the run,
+		// as it would in any long simulation.
+		res, err := timewarp.Run(fx.c, fx.stim, fx.until, timewarp.Config{
+			Partition: fx.part, System: logic.TwoValued,
+			GVTInterval: 500 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot := res.Stats.Total()
+		rollbacks = tot.Rollbacks
+		undone = tot.EventsRolledBack
+	}
+	b.ReportMetric(float64(rollbacks), "rollbacks/run")
+	b.ReportMetric(float64(undone), "undone/run")
+}
+
+// benchEngine measures one end-to-end core.Simulate per iteration.
+func benchEngine(b *testing.B, engine core.Engine) {
+	c, err := gen.RandomDAG(gen.RandomConfig{Gates: 1200, Inputs: 24, Outputs: 12, Locality: 0.6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim, err := vectors.Random(c, vectors.RandomConfig{Vectors: 10, Period: 40, Activity: 0.5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	until := core.Horizon(c, stim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Simulate(c, stim, until, core.Options{
+			Engine: engine, LPs: 8, Partition: partition.MethodFM, System: logic.TwoValued,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if engine == core.EngineSeq {
+			events = rep.SeqWork.EventsApplied
+		} else if tot := rep.Stats.Total(); tot.EventsApplied > 0 {
+			events = tot.EventsApplied
+		} else {
+			events = tot.Evaluations
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(events)*float64(b.N)/sec, "events/s")
+	}
+}
+
+// Names returns the suite's benchmark names in order, for documentation
+// and the baseline writer.
+func Names() []string {
+	var out []string
+	for _, bm := range All() {
+		out = append(out, bm.Name)
+	}
+	return out
+}
+
+var _ = fmt.Sprintf // keep fmt for future use

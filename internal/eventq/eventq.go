@@ -61,13 +61,25 @@ func (i Impl) String() string {
 
 // New constructs a queue of the given implementation.
 func New[T any](impl Impl) Queue[T] {
+	return NewCap[T](impl, 0)
+}
+
+// NewCap constructs a queue with a capacity hint: the backing storage is
+// pre-grown so an engine's warm-up pushes skip the append growth chain.
+// Implementations whose storage is already slotted (calendar, wheel) ignore
+// the hint; their per-slot slices grow once and are reused thereafter.
+func NewCap[T any](impl Impl, hint int) Queue[T] {
 	switch impl {
 	case ImplCalendar:
 		return NewCalendar[T]()
 	case ImplWheel:
 		return NewWheel[T](256)
 	default:
-		return NewHeap[T]()
+		h := NewHeap[T]()
+		if hint > 0 {
+			h.items = make([]item[T], 0, hint)
+		}
+		return h
 	}
 }
 

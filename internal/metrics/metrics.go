@@ -54,6 +54,9 @@ const (
 	StateSavedWords
 	Steps
 	Blocks
+	NullsFolded
+	PoolHits
+	PoolMisses
 
 	NumCounters
 )
@@ -74,6 +77,9 @@ var counterNames = [NumCounters]string{
 	"state_saved_words",
 	"steps",
 	"blocks",
+	"nulls_folded",
+	"pool_hits",
+	"pool_misses",
 }
 
 // String returns the counter's stable report key.
@@ -122,6 +128,17 @@ type LPCounters struct {
 	// allowed to process (conservative input-waiting rule) or nothing to
 	// do, and parked until a message arrived.
 	Blocks uint64
+	// NullsFolded counts null messages superseded inside a send batch
+	// before transmission: the conservative engine still accounts them as
+	// sent (protocol work happened), but only the strongest promise per
+	// flush reaches the wire, so transmitted nulls = NullsSent − NullsFolded.
+	NullsFolded uint64
+	// PoolHits / PoolMisses count hot-path record acquisitions served from
+	// an engine free-list versus falling through to the allocator. A warm
+	// run should be nearly all hits; misses measure pool warm-up and
+	// high-water growth.
+	PoolHits   uint64
+	PoolMisses uint64
 }
 
 // Get reads one counter by enum.
@@ -157,6 +174,12 @@ func (s *LPCounters) Get(c Counter) uint64 {
 		return s.Steps
 	case Blocks:
 		return s.Blocks
+	case NullsFolded:
+		return s.NullsFolded
+	case PoolHits:
+		return s.PoolHits
+	case PoolMisses:
+		return s.PoolMisses
 	}
 	return 0
 }
@@ -178,6 +201,9 @@ func (s *LPCounters) Add(other LPCounters) {
 	s.StateSavedWords += other.StateSavedWords
 	s.Steps += other.Steps
 	s.Blocks += other.Blocks
+	s.NullsFolded += other.NullsFolded
+	s.PoolHits += other.PoolHits
+	s.PoolMisses += other.PoolMisses
 }
 
 // Each visits every counter in enum order.
@@ -536,6 +562,12 @@ func (s *LPCounters) set(c Counter, v uint64) {
 		s.Steps = v
 	case Blocks:
 		s.Blocks = v
+	case NullsFolded:
+		s.NullsFolded = v
+	case PoolHits:
+		s.PoolHits = v
+	case PoolMisses:
+		s.PoolMisses = v
 	}
 }
 

@@ -28,6 +28,9 @@ func TestCounterRoundTrip(t *testing.T) {
 	s.StateSavedWords = 13
 	s.Steps = 14
 	s.Blocks = 15
+	s.NullsFolded = 16
+	s.PoolHits = 17
+	s.PoolMisses = 18
 	// Get must agree with the named fields for every enum value: each
 	// counter was set to its ordinal+1.
 	for c := Counter(0); c < NumCounters; c++ {

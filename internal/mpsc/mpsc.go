@@ -25,7 +25,17 @@ type Mailbox[T any] struct {
 
 // New returns an empty mailbox.
 func New[T any]() *Mailbox[T] {
+	return NewCap[T](0)
+}
+
+// NewCap returns an empty mailbox whose internal queue is pre-grown to the
+// given capacity, so the first bursts of Put/PutAll skip the append growth
+// chain. The mailbox stays unbounded; the hint only seeds capacity.
+func NewCap[T any](hint int) *Mailbox[T] {
 	m := &Mailbox[T]{}
+	if hint > 0 {
+		m.items = make([]T, 0, hint)
+	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }

@@ -1,0 +1,192 @@
+package mpsc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPutAllBatches hammers the mailbox with batched producers —
+// the engines' flushSends pattern — while the consumer loops WaitDrain.
+// Per-producer batch order and intra-batch order must both survive, and
+// every element must arrive exactly once. Run under -race this also checks
+// the producers' reuse of their batch buffers after PutAll returns.
+func TestConcurrentPutAllBatches(t *testing.T) {
+	m := NewCap[int](16)
+	const producers = 8
+	const batches = 400
+	const batchLen = 7
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]int, 0, batchLen)
+			for b := 0; b < batches; b++ {
+				batch = batch[:0]
+				for i := 0; i < batchLen; i++ {
+					batch = append(batch, p*batches*batchLen+b*batchLen+i)
+				}
+				m.PutAll(batch)
+			}
+		}(p)
+	}
+	const total = producers * batches * batchLen
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	seen := 0
+	var buf []int
+	for seen < total {
+		var ok bool
+		buf, ok = m.WaitDrain(buf[:0])
+		if !ok {
+			t.Fatal("closed unexpectedly")
+		}
+		for _, v := range buf {
+			p, i := v/(batches*batchLen), v%(batches*batchLen)
+			if i <= last[p] {
+				t.Fatalf("producer %d out of order: %d after %d", p, i, last[p])
+			}
+			last[p] = i
+			seen++
+		}
+	}
+	wg.Wait()
+	if m.Len() != 0 {
+		t.Fatalf("%d items left after consuming %d", m.Len(), total)
+	}
+}
+
+// TestCloseWhileWaiting closes the mailbox while the consumer is parked in
+// WaitDrain: the consumer must wake, receive any concurrently queued tail,
+// and then see ok=false on its next wait.
+func TestCloseWhileWaiting(t *testing.T) {
+	m := New[int]()
+	got := make(chan int, 1)
+	go func() {
+		n := 0
+		var buf []int
+		for {
+			var ok bool
+			buf, ok = m.WaitDrain(buf[:0])
+			n += len(buf)
+			if !ok {
+				got <- n
+				return
+			}
+		}
+	}()
+	time.Sleep(2 * time.Millisecond) // let the consumer park
+	m.Put(1)
+	m.Put(2)
+	m.Close()
+	select {
+	case n := <-got:
+		if n != 2 {
+			t.Fatalf("consumer saw %d items, want 2", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer never observed Close")
+	}
+}
+
+// TestPokeWakeupUnderLoad interleaves pokes with real traffic from other
+// goroutines. Every WaitDrain return must carry items or be explained by a
+// poke; the consumer must never deadlock, and all items must arrive.
+func TestPokeWakeupUnderLoad(t *testing.T) {
+	m := New[int]()
+	const items = 2000
+	var pokes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			m.Put(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			m.Poke()
+			pokes.Add(1)
+		}
+	}()
+	seen := 0
+	var buf []int
+	for seen < items {
+		var ok bool
+		buf, ok = m.WaitDrain(buf[:0])
+		if !ok {
+			t.Fatal("closed unexpectedly")
+		}
+		seen += len(buf)
+	}
+	wg.Wait()
+	if seen != items {
+		t.Fatalf("saw %d items, want %d", seen, items)
+	}
+}
+
+// TestMixedPutPutAllClose is a churn test: value puts, batch puts, pokes,
+// and a late Close all race; the consumer must drain exactly the produced
+// multiset and then terminate.
+func TestMixedPutPutAllClose(t *testing.T) {
+	m := NewCap[int](8)
+	const producers = 6
+	const per = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]int, 0, 4)
+			for i := 0; i < per; i++ {
+				v := p*per + i
+				if i%3 == 0 {
+					m.Put(v)
+				} else {
+					batch = append(batch, v)
+					if len(batch) == cap(batch) {
+						m.PutAll(batch)
+						batch = batch[:0]
+					}
+				}
+				if i%101 == 0 {
+					m.Poke()
+				}
+			}
+			m.PutAll(batch)
+		}(p)
+	}
+	closer := make(chan struct{})
+	go func() {
+		wg.Wait()
+		m.Close()
+		close(closer)
+	}()
+	seen := make([]bool, producers*per)
+	count := 0
+	var buf []int
+	for {
+		var ok bool
+		buf, ok = m.WaitDrain(buf[:0])
+		for _, v := range buf {
+			if seen[v] {
+				t.Fatalf("duplicate %d", v)
+			}
+			seen[v] = true
+			count++
+		}
+		if !ok {
+			break
+		}
+	}
+	<-closer
+	if count != producers*per {
+		t.Fatalf("drained %d of %d items", count, producers*per)
+	}
+}

@@ -19,6 +19,7 @@ package partition
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/circuit"
 )
@@ -29,6 +30,12 @@ type Partition struct {
 	Blocks int
 	// Assign maps GateID -> block index in [0, Blocks).
 	Assign []int
+
+	// blockGates caches the per-block gate lists: engines ask for them at
+	// every Run, and the partition is immutable once built. Guarded by a
+	// Once so a partition shared across concurrent runs stays race-free.
+	bgOnce     sync.Once
+	blockGates [][]circuit.GateID
 }
 
 // Validate checks the partition covers the circuit.
@@ -47,13 +54,24 @@ func (p *Partition) Validate(c *circuit.Circuit) error {
 	return nil
 }
 
-// BlockGates returns the gates of each block, in ascending gate order.
+// BlockGates returns the gates of each block, in ascending gate order. The
+// result is computed once and cached; callers must treat it as read-only.
 func (p *Partition) BlockGates() [][]circuit.GateID {
-	out := make([][]circuit.GateID, p.Blocks)
-	for g, b := range p.Assign {
-		out[b] = append(out[b], circuit.GateID(g))
-	}
-	return out
+	p.bgOnce.Do(func() {
+		counts := make([]int, p.Blocks)
+		for _, b := range p.Assign {
+			counts[b]++
+		}
+		out := make([][]circuit.GateID, p.Blocks)
+		for b, n := range counts {
+			out[b] = make([]circuit.GateID, 0, n)
+		}
+		for g, b := range p.Assign {
+			out[b] = append(out[b], circuit.GateID(g))
+		}
+		p.blockGates = out
+	})
+	return p.blockGates
 }
 
 // CutLinks counts directed cross-block communication links: pairs

@@ -153,18 +153,31 @@ type clp struct {
 	rec   trace.Recorder
 	st    *metrics.LPBlock
 	trsh  *trace.Shard
-	lvt   circuit.Tick
-	safe  circuit.Tick // DeadlockRecovery: permit bound; null modes: derived
-	bound map[int]circuit.Tick
-	last  map[int]circuit.Tick // last promise sent per out-link dst
+	lvt  circuit.Tick
+	safe circuit.Tick // DeadlockRecovery: permit bound; null modes: derived
+	// bound, last, reqd, and awaiting are dense per-LP-id slices (length =
+	// LP count) rather than maps: the hot promise/handle paths index them
+	// per message, and a handful of words per peer is cheaper than map
+	// hashing — and allocation-free after setup.
+	bound []circuit.Tick
+	last  []circuit.Tick // last promise sent per out-link dst
 	out   []outLink
 	in    []int
-	reqd  map[int]bool // dsts that requested a promise (demand mode)
+	reqd  []bool // dsts that requested a promise (demand mode)
 	// awaiting tracks in-links with an outstanding promise request, so a
 	// blocked LP keeps at most one request in flight per source; without
 	// the bound, mutual re-requesting among blocked LPs becomes a message
 	// storm that grows with the LP count.
-	awaiting map[int]bool
+	awaiting []bool
+	// pend/pendDst/pendNull batch outgoing messages per destination,
+	// delivered with one PutAll per destination at flush points (before any
+	// WaitDrain, and at termination). pendNull[dst] is the index of the
+	// batched null message for dst, or -1: promises only increase, so a
+	// newer promise overwrites the batched one in place — the fold — and
+	// only the strongest promise per flush reaches the wire.
+	pend     [][]msg
+	pendDst  []int
+	pendNull []int
 	// nextPub and wakeGen publish quiescence state to the coordinator
 	// (DeadlockRecovery mode): the pending-event time while blocked, and a
 	// generation bumped on every wake for the double-collect snapshot.
@@ -210,7 +223,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	sh.coShard = cfg.Tracer.Shard("coordinator")
 	sh.inboxes = make([]*mpsc.Mailbox[msg], n)
 	for i := range sh.inboxes {
-		sh.inboxes[i] = mpsc.New[msg]()
+		sh.inboxes[i] = mpsc.NewCap[msg](64)
 	}
 	// Derive the LP graph: links and lookaheads.
 	type linkKey struct{ src, dst int }
@@ -231,27 +244,69 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 
 	blockGates := p.BlockGates()
-	lps := make([]*clp, n)
+	// Per-LP in/out degrees, so link lists allocate exactly once.
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	for k2 := range la {
+		outDeg[k2.src]++
+		inDeg[k2.dst]++
+	}
+	// Per-LP working state lives in shared slabs sliced per LP rather than
+	// one small make per field per LP: the structures are fixed-size (length
+	// or capacity known up front), so a single backing array per field class
+	// replaces 10+ allocations per LP. Growable fields (out, in, pendDst,
+	// evs, buf) use three-index slices so an append past the reserved
+	// capacity reallocates privately instead of clobbering a neighbour.
+	totOut, totIn := 0, 0
 	for i := 0; i < n; i++ {
-		l := &clp{
-			id:       i,
-			sh:       sh,
-			q:        eventq.New[kernel.Event](cfg.Queue),
-			bound:    map[int]circuit.Tick{},
-			last:     map[int]circuit.Tick{},
-			reqd:     map[int]bool{},
-			awaiting: map[int]bool{},
-			safe:     1,
-			st:       sink.LP(i),
-			trsh:     cfg.Tracer.Shard(fmt.Sprintf("lp %d", i)),
-		}
+		totOut += outDeg[i]
+		totIn += inDeg[i]
+	}
+	var (
+		lpSlab      = make([]clp, n)
+		tickSlab    = make([]circuit.Tick, 2*n*n) // bound + last
+		boolSlab    = make([]bool, 2*n*n)         // reqd + awaiting
+		pendSlab    = make([][]msg, n*n)          // pend headers
+		nullSlab    = make([]int, n*n)            // pendNull
+		pendDstSlab = make([]int, n*n)            // pendDst dirty lists
+		outSlab     = make([]outLink, totOut)
+		inSlab      = make([]int, totIn)
+		evsSlab     = make([]kernel.Event, n*64)
+		bufSlab     = make([]msg, n*64)
+	)
+	for d := range nullSlab {
+		nullSlab[d] = -1
+	}
+	lps := make([]*clp, n)
+	outOff, inOff := 0, 0
+	for i := 0; i < n; i++ {
+		l := &lpSlab[i]
+		l.id = i
+		l.sh = sh
+		l.q = eventq.NewCap[kernel.Event](cfg.Queue, 128)
+		l.bound = tickSlab[(2*i)*n : (2*i+1)*n : (2*i+1)*n]
+		l.last = tickSlab[(2*i+1)*n : (2*i+2)*n : (2*i+2)*n]
+		l.reqd = boolSlab[(2*i)*n : (2*i+1)*n : (2*i+1)*n]
+		l.awaiting = boolSlab[(2*i+1)*n : (2*i+2)*n : (2*i+2)*n]
+		l.pend = pendSlab[i*n : (i+1)*n : (i+1)*n]
+		l.pendNull = nullSlab[i*n : (i+1)*n : (i+1)*n]
+		l.pendDst = pendDstSlab[i*n : i*n : (i+1)*n]
+		l.out = outSlab[outOff : outOff : outOff+outDeg[i]]
+		l.in = inSlab[inOff : inOff : inOff+inDeg[i]]
+		l.evs = evsSlab[i*64 : i*64 : (i+1)*64]
+		l.buf = bufSlab[i*64 : i*64 : (i+1)*64]
+		l.safe = 1
+		l.st = sink.LP(i)
+		l.trsh = cfg.Tracer.Shard(fmt.Sprintf("lp %d", i))
+		outOff += outDeg[i]
+		inOff += inDeg[i]
 		l.k = kernel.New(c, owner, i, cfg.System, watched, blockGates[i])
 		l.k.Schedule = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
 			l.q.Push(uint64(t), kernel.Event{Gate: g, Value: v})
 		}
 		l.k.Send = func(dst int, t circuit.Tick, g circuit.GateID, v logic.Value) {
 			sh.transit.Add(1)
-			sh.inboxes[dst].Put(msg{kind: msgValue, from: l.id, time: t, gate: g, value: v})
+			l.buffer(dst, msg{kind: msgValue, from: l.id, time: t, gate: g, value: v})
 		}
 		l.k.Record = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
 			l.rec.Record(t, g, v)
@@ -266,26 +321,52 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 
 	// Stimulus routing: each input change goes to the owner of the input
-	// gate and to every LP that owns a consumer of it (ghost updates).
+	// gate and to every LP that owns a consumer of it (ghost updates). The
+	// destination lists live in one flat CSR-style array indexed by input
+	// position, with a single reusable seen scratch — no per-input maps.
 	initial := make([][]kernel.Event, n)
-	deliverTo := make(map[circuit.GateID][]int)
-	for _, in := range c.Inputs {
-		dsts := []int{owner[in]}
-		seen := map[int]bool{owner[in]: true}
+	idxOf := make([]int32, len(c.Gates))
+	deliverOff := make([]int32, len(c.Inputs)+1)
+	deliverDst := make([]int, 0, len(c.Inputs))
+	seen := make([]bool, n)
+	for ii, in := range c.Inputs {
+		idxOf[in] = int32(ii)
+		start := len(deliverDst)
+		seen[owner[in]] = true
+		deliverDst = append(deliverDst, owner[in])
 		for _, fo := range c.Fanout[in] {
 			if b := owner[fo]; !seen[b] {
 				seen[b] = true
-				dsts = append(dsts, b)
+				deliverDst = append(deliverDst, b)
 			}
 		}
-		deliverTo[in] = dsts
+		for _, d := range deliverDst[start:] {
+			seen[d] = false
+		}
+		deliverOff[ii+1] = int32(len(deliverDst))
+	}
+	initCnt := make([]int, n)
+	for _, ch := range stim.Changes {
+		if ch.Time != 0 {
+			continue
+		}
+		ii := idxOf[ch.Input]
+		for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
+			initCnt[dst]++
+		}
+	}
+	for dst, cnt := range initCnt {
+		if cnt > 0 {
+			initial[dst] = make([]kernel.Event, 0, cnt)
+		}
 	}
 	for _, ch := range stim.Changes {
 		if ch.Time > until {
 			continue
 		}
 		ev := kernel.Event{Gate: ch.Input, Value: cfg.System.Project(ch.Value)}
-		for _, dst := range deliverTo[ch.Input] {
+		ii := idxOf[ch.Input]
+		for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
 			if ch.Time == 0 {
 				initial[dst] = append(initial[dst], ev)
 			} else {
@@ -375,7 +456,13 @@ func (l *clp) promise(la circuit.Tick) circuit.Tick {
 	return e + la
 }
 
-// sendPromises pushes increased promises on the selected out-links.
+// sendPromises batches increased promises on the selected out-links. A
+// promise still buffered from an earlier call is superseded in place (the
+// fold): it counts as sent — the protocol work happened — but never reaches
+// the wire. Folding is safe because a receiver applies a drained batch in
+// full before processing any event, so a value message that precedes the
+// strengthened promise inside the batch is enqueued before the new bound is
+// acted on, exactly as if both had arrived separately.
 func (l *clp) sendPromises(onlyRequested bool) {
 	for _, link := range l.out {
 		if onlyRequested && !l.reqd[link.dst] {
@@ -386,10 +473,42 @@ func (l *clp) sendPromises(onlyRequested bool) {
 			continue
 		}
 		l.last[link.dst] = p
-		delete(l.reqd, link.dst)
-		l.sh.inboxes[link.dst].Put(msg{kind: msgNull, from: l.id, time: p})
+		l.reqd[link.dst] = false
 		l.st.NullsSent++
+		if i := l.pendNull[link.dst]; i >= 0 {
+			l.pend[link.dst][i].time = p
+			l.st.NullsFolded++
+			continue
+		}
+		l.pendNull[link.dst] = len(l.pend[link.dst])
+		l.buffer(link.dst, msg{kind: msgNull, from: l.id, time: p})
 	}
+}
+
+// buffer queues one outgoing message for dst until the next flushSends.
+// Value messages count transit at their Send site (buffer time), so the
+// deadlock-recovery quiescence test cannot pass with unflushed batches.
+func (l *clp) buffer(dst int, m msg) {
+	if len(l.pend[dst]) == 0 {
+		if cap(l.pend[dst]) == 0 {
+			l.pend[dst] = make([]msg, 0, 96)
+		}
+		l.pendDst = append(l.pendDst, dst)
+	}
+	l.pend[dst] = append(l.pend[dst], m)
+}
+
+// flushSends delivers every buffered batch, one PutAll per destination,
+// preserving per-destination FIFO order. Every path into WaitDrain (and
+// termination) flushes first, so no message outlives its sender's
+// wakefulness inside a local batch.
+func (l *clp) flushSends() {
+	for _, dst := range l.pendDst {
+		l.sh.inboxes[dst].PutAll(l.pend[dst])
+		l.pend[dst] = l.pend[dst][:0]
+		l.pendNull[dst] = -1
+	}
+	l.pendDst = l.pendDst[:0]
 }
 
 // handle processes one inbound message; it returns false on terminate.
@@ -431,6 +550,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 	if !detect {
 		l.sendPromises(false)
 	}
+	l.flushSends() // initial promises and any settle-step boundary values
 
 	for {
 		if l.sh.abort.Load() {
@@ -481,6 +601,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 		if !detect && l.nextLocal() > l.sh.until && l.safeTime() > l.sh.until {
 			// Final promises are already infTick via promise().
 			l.sendPromises(false)
+			l.flushSends()
 			return
 		}
 		if !detect && l.nextLocal() < l.safeTime() && l.nextLocal() <= l.sh.until {
@@ -494,9 +615,12 @@ func (l *clp) run(initialEvents []kernel.Event) {
 					continue
 				}
 				l.awaiting[src] = true
-				l.sh.inboxes[src].Put(msg{kind: msgRequest, from: l.id})
+				l.buffer(src, msg{kind: msgRequest, from: l.id})
 			}
 		}
+		// About to park: everything buffered — values, folded promises,
+		// promise requests — must be on the wire first.
+		l.flushSends()
 		l.st.Blocks++
 		blockBegin := l.trsh.Now()
 		var ok bool

@@ -48,6 +48,17 @@ func (u *Undo) Words() uint64 {
 	return uint64(len(u.vals) + len(u.clks) + len(u.projs))
 }
 
+// NewUndo returns an undo log with pre-grown log capacity, so pooled
+// records born on a free-list miss skip the append growth chain and land
+// near their steady-state size immediately.
+func NewUndo(vals, clks, projs int) *Undo {
+	return &Undo{
+		vals:  make([]valChange, 0, vals),
+		clks:  make([]valChange, 0, clks),
+		projs: make([]valChange, 0, projs),
+	}
+}
+
 // Reset clears the undo for reuse.
 func (u *Undo) Reset() {
 	u.vals = u.vals[:0]
@@ -107,6 +118,8 @@ func New(c *circuit.Circuit, owner []int, self int, sys logic.System, watched []
 		isWatched: isWatched,
 		ownGates:  ownGates,
 		stamp:     make([]uint64, len(c.Gates)),
+		dirty:     make([]circuit.GateID, 0, 64),
+		scratch:   make([]logic.Value, 0, 8),
 		dstSeen:   make([]bool, nBlocks),
 	}
 }

@@ -288,32 +288,56 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		l.sh.Span(trace.PhaseEvaluate, begin, t)
 	}
 
-	// runPhase executes one phase on every LP concurrently and waits for
-	// all of them — the global barrier, priced by the cost model. Phases
-	// use the fork-join goroutine pattern: each LP's work is independent
-	// within a phase (owner-only writes, barrier-separated reads).
-	runPhase := func(t circuit.Tick, phase int) {
-		begin := coord.Now()
-		var pw gosync.WaitGroup
-		for _, l := range lps {
-			pw.Add(1)
-			go func(l *lp) {
-				defer pw.Done()
+	// Persistent phase workers: one goroutine per LP lives for the whole
+	// run and executes phases on command, instead of forking numLPs fresh
+	// goroutines per phase (two phases per global step). Goroutine creation
+	// is not free — a stack allocation plus a scheduler wakeup — and the
+	// synchronous engine crosses a barrier every few microseconds of useful
+	// work, so the spawn cost sits squarely on the critical path this
+	// engine exists to measure. Each worker owns its LP exclusively within
+	// a phase; the WaitGroup is the join barrier.
+	type phaseCmd struct {
+		t     circuit.Tick
+		phase int
+	}
+	work := make([]chan phaseCmd, numLPs)
+	var pw gosync.WaitGroup
+	for _, l := range lps {
+		ch := make(chan phaseCmd, 1)
+		work[l.id] = ch
+		go func(l *lp, ch chan phaseCmd) {
+			for cmd := range ch {
 				name := "apply"
-				if phase != 0 {
+				if cmd.phase != 0 {
 					name = "eval"
 				}
 				metrics.Do(sink, "sync", l.id, name, func() {
-					switch phase {
+					switch cmd.phase {
 					case 0:
-						phaseA(l, t)
+						phaseA(l, cmd.t)
 					case 1:
-						phaseB(l, t, false)
+						phaseB(l, cmd.t, false)
 					case 2:
-						phaseB(l, t, true)
+						phaseB(l, cmd.t, true)
 					}
 				})
-			}(l)
+				pw.Done()
+			}
+		}(l, ch)
+	}
+	defer func() {
+		for _, ch := range work {
+			close(ch)
+		}
+	}()
+
+	// runPhase executes one phase on every LP concurrently and waits for
+	// all of them — the global barrier, priced by the cost model.
+	runPhase := func(t circuit.Tick, phase int) {
+		begin := coord.Now()
+		pw.Add(numLPs)
+		for _, ch := range work {
+			ch <- phaseCmd{t, phase}
 		}
 		pw.Wait()
 		coord.Span(trace.PhaseBarrier, begin, t)

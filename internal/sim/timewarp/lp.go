@@ -52,10 +52,10 @@ type lazyRec struct {
 
 // tlp is one Time Warp logical process.
 type tlp struct {
-	id  int
-	sh  *shared
-	cfg Config
-	k   *kernel.LP
+	id   int
+	sh   *shared
+	cfg  Config
+	k    *kernel.LP
 	q    eventq.Queue[qevent]
 	rec  trace.Recorder
 	st   *metrics.LPBlock
@@ -77,6 +77,23 @@ type tlp struct {
 	evs           []qevent
 	kevs          []kernel.Event
 
+	// Free-lists for the per-step history records. Steps, undo logs, and
+	// snapshots are recycled here at rollback and fossil collection instead
+	// of being dropped for the GC; reuse keeps the slices' grown capacity,
+	// so a warm LP executes timesteps without allocating.
+	stepPool    []*step
+	undoPool    []*kernel.Undo
+	snapPool    []*kernel.Snapshot
+	undoScratch []*kernel.Undo
+
+	// Per-destination outgoing message batches. Sends append here (transit
+	// is counted at buffer time so GVT quiescence waits for unflushed
+	// batches) and flushSends delivers each destination's batch with one
+	// PutAll — one lock acquisition per destination per step instead of one
+	// per message.
+	pend    [][]msg
+	pendDst []int // destinations with a non-empty batch, in first-use order
+
 	// Hybrid-mode intra-cluster buffers and accounting.
 	outBuf   []logic.Value
 	clkBuf   []logic.Value
@@ -89,8 +106,11 @@ func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
 		sh:   sh,
 		cfg:  cfg,
 		k:    k,
-		q:    eventq.New[qevent](cfg.Queue),
+		q:    eventq.NewCap[qevent](cfg.Queue, 128),
 		dead: map[uint64]bool{},
+		evs:  make([]qevent, 0, 32),
+		kevs: make([]kernel.Event, 0, 32),
+		buf:  make([]msg, 0, 64),
 		st:   sh.sink.LP(id),
 		trsh: sh.tracer.Shard(fmt.Sprintf("lp %d", id)),
 	}
@@ -101,6 +121,7 @@ func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
 		l.outBuf = make([]logic.Value, sh.c.NumGates())
 		l.clkBuf = make([]logic.Value, sh.c.NumGates())
 	}
+	l.pend = make([][]msg, len(sh.inboxes))
 	k.Schedule = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
 		ev := qevent{gate: g, value: v, id: l.newID()}
 		l.q.Push(uint64(t), ev)
@@ -126,8 +147,7 @@ func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
 		}
 		rec := sentRec{dst: dst, id: l.newID(), time: t, gate: g, value: v}
 		l.curStep.sent = append(l.curStep.sent, rec)
-		l.sh.transit.Add(1)
-		l.sh.inboxes[dst].Put(msg{kind: msgValue, from: l.id, id: rec.id, time: t, gate: g, value: v})
+		l.buffer(dst, msg{kind: msgValue, from: l.id, id: rec.id, time: t, gate: g, value: v})
 	}
 	k.Record = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
 		l.rec.Record(t, g, v)
@@ -139,6 +159,97 @@ func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
 func (l *tlp) newID() uint64 {
 	l.seq++
 	return uint64(l.id)<<40 | l.seq
+}
+
+// getStep acquires a cleared step record, reusing a recycled one (and its
+// grown slice capacity) when available.
+func (l *tlp) getStep(t circuit.Tick) *step {
+	if n := len(l.stepPool); n > 0 {
+		s := l.stepPool[n-1]
+		l.stepPool[n-1] = nil
+		l.stepPool = l.stepPool[:n-1]
+		s.time = t
+		s.inputs = s.inputs[:0]
+		s.sent = s.sent[:0]
+		s.created = s.created[:0]
+		l.st.PoolHits++
+		return s
+	}
+	l.st.PoolMisses++
+	return &step{
+		time:    t,
+		inputs:  make([]qevent, 0, 8),
+		sent:    make([]sentRec, 0, 8),
+		created: make([]uint64, 0, 16),
+	}
+}
+
+// putStep recycles a step record and its undo/snapshot into the free-lists.
+// Callers must be done with every slice the record owns: the requeue/cancel
+// loops copy inputs, sent records, and created ids by value before recycling.
+func (l *tlp) putStep(s *step) {
+	if s.undo != nil {
+		l.undoPool = append(l.undoPool, s.undo)
+		s.undo = nil
+	}
+	if s.snap != nil {
+		l.snapPool = append(l.snapPool, s.snap)
+		s.snap = nil
+	}
+	l.stepPool = append(l.stepPool, s)
+}
+
+// getUndo acquires a reset undo log from the free-list.
+func (l *tlp) getUndo() *kernel.Undo {
+	if n := len(l.undoPool); n > 0 {
+		u := l.undoPool[n-1]
+		l.undoPool[n-1] = nil
+		l.undoPool = l.undoPool[:n-1]
+		u.Reset()
+		l.st.PoolHits++
+		return u
+	}
+	l.st.PoolMisses++
+	return kernel.NewUndo(32, 8, 32)
+}
+
+// getSnap acquires a snapshot buffer from the free-list; TakeSnapshot
+// reuses its capacity.
+func (l *tlp) getSnap() *kernel.Snapshot {
+	if n := len(l.snapPool); n > 0 {
+		s := l.snapPool[n-1]
+		l.snapPool[n-1] = nil
+		l.snapPool = l.snapPool[:n-1]
+		l.st.PoolHits++
+		return s
+	}
+	l.st.PoolMisses++
+	return &kernel.Snapshot{}
+}
+
+// buffer queues one outgoing message for dst. Transit is counted here, at
+// buffer time, so GVT quiescence (handled==0 && transit==0) cannot conclude
+// while any batch is unflushed.
+func (l *tlp) buffer(dst int, m msg) {
+	l.sh.transit.Add(1)
+	if len(l.pend[dst]) == 0 {
+		if cap(l.pend[dst]) == 0 {
+			l.pend[dst] = make([]msg, 0, 64)
+		}
+		l.pendDst = append(l.pendDst, dst)
+	}
+	l.pend[dst] = append(l.pend[dst], m)
+}
+
+// flushSends delivers every buffered batch, one PutAll per destination.
+// Per-destination order is preserved, so link FIFO (which anti-message
+// annihilation relies on) still holds.
+func (l *tlp) flushSends() {
+	for _, dst := range l.pendDst {
+		l.sh.inboxes[dst].PutAll(l.pend[dst])
+		l.pend[dst] = l.pend[dst][:0]
+	}
+	l.pendDst = l.pendDst[:0]
 }
 
 // nextLive returns the earliest non-annihilated pending event time,
@@ -179,14 +290,15 @@ func (l *tlp) popBatch(t circuit.Tick) []qevent {
 // execStep speculatively executes the events at time t.
 func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 	begin := l.trsh.Now()
-	s := &step{time: t, inputs: append([]qevent(nil), events...)}
+	s := l.getStep(t)
+	s.inputs = append(s.inputs, events...)
 	l.kevs = l.kevs[:0]
 	for _, ev := range events {
 		l.kevs = append(l.kevs, kernel.Event{Gate: ev.gate, Value: ev.value})
 	}
 	if !initial && l.cfg.StateSaving == FullCopy {
 		snapBegin := l.trsh.Now()
-		s.snap = &kernel.Snapshot{}
+		s.snap = l.getSnap()
 		l.k.TakeSnapshot(l.relevant, s.snap)
 		l.st.StateSaves++
 		l.st.StateSavedWords += s.snap.Words()
@@ -195,7 +307,7 @@ func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 	l.curStep = s
 	var undo *kernel.Undo
 	if !initial && l.cfg.StateSaving == Incremental {
-		undo = &kernel.Undo{}
+		undo = l.getUndo()
 		s.undo = undo
 	}
 	if l.cfg.IntraWorkers > 1 {
@@ -213,6 +325,8 @@ func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 	l.curStep = nil
 	if !initial {
 		l.steps = append(l.steps, s)
+	} else {
+		l.putStep(s)
 	}
 	l.lvt = t
 	// Lazy messages from steps at or before t that re-execution did not
@@ -256,11 +370,15 @@ func (l *tlp) rollback(ts circuit.Tick) {
 			l.st.EventsRolledBack += uint64(len(s.inputs))
 		}
 	} else {
-		undos := make([]*kernel.Undo, len(suffix))
-		for i, s := range suffix {
-			undos[i] = s.undo
+		undos := l.undoScratch[:0]
+		for _, s := range suffix {
+			undos = append(undos, s.undo)
 		}
 		l.k.Rollback(undos, &l.st.LPCounters)
+		for i := range undos {
+			undos[i] = nil
+		}
+		l.undoScratch = undos[:0]
 	}
 
 	// Retract internally scheduled events and cancel sent messages.
@@ -289,6 +407,13 @@ func (l *tlp) rollback(ts circuit.Tick) {
 		}
 	}
 	l.rec.TruncateFrom(suffix[0].time)
+	// Everything the suffix records owned has been copied out (inputs into
+	// the queue, sent records into lazyPending or anti-messages, created
+	// ids into the tombstone set), so the records go back to the pool.
+	for i, s := range suffix {
+		l.putStep(s)
+		suffix[i] = nil
+	}
 	l.steps = l.steps[:idx]
 	if idx > 0 {
 		l.lvt = l.steps[idx-1].time
@@ -299,11 +424,11 @@ func (l *tlp) rollback(ts circuit.Tick) {
 	l.trsh.Span(trace.PhaseRollback, begin, ts)
 }
 
-// sendAnti transmits an anti-message for a previously sent message.
+// sendAnti queues an anti-message for a previously sent message; the batch
+// is delivered at the next flushSends.
 func (l *tlp) sendAnti(sr sentRec) {
 	l.st.AntiMessagesSent++
-	l.sh.transit.Add(1)
-	l.sh.inboxes[sr.dst].Put(msg{kind: msgAnti, from: l.id, id: sr.id, time: sr.time, gate: sr.gate, value: sr.value})
+	l.buffer(sr.dst, msg{kind: msgAnti, from: l.id, id: sr.id, time: sr.time, gate: sr.gate, value: sr.value})
 }
 
 // cancelLazyThrough cancels pending lazy messages whose originating step
@@ -363,7 +488,16 @@ func (l *tlp) fossilCollect(gvt circuit.Tick) {
 	l.fossilFloor = gvt
 	idx := sort.Search(len(l.steps), func(i int) bool { return l.steps[i].time >= gvt })
 	if idx > 0 {
-		l.steps = append([]*step(nil), l.steps[idx:]...)
+		// Recycle the collected prefix and compact in place, keeping the
+		// slice's capacity instead of reallocating every collection.
+		for _, s := range l.steps[:idx] {
+			l.putStep(s)
+		}
+		n := copy(l.steps, l.steps[idx:])
+		for i := n; i < len(l.steps); i++ {
+			l.steps[i] = nil
+		}
+		l.steps = l.steps[:n]
 	}
 }
 
@@ -419,9 +553,13 @@ func (l *tlp) handleAll(batch []msg) bool {
 	return true
 }
 
-// run is the LP goroutine body.
+// run is the LP goroutine body. Batched sends obey one rule: every path
+// that can reach WaitDrain (or park the LP in any way) flushes first, so no
+// message sits in a local batch while its sender sleeps — GVT quiescence
+// and deadlock-freedom both depend on it.
 func (l *tlp) run() {
 	l.execInitial()
+	l.flushSends()
 	for {
 		if l.sh.abort.Load() {
 			return
@@ -430,6 +568,7 @@ func (l *tlp) run() {
 		if !l.handleAll(l.buf) {
 			return
 		}
+		l.flushSends() // anti-messages from straggler-induced rollbacks
 		if l.sh.paused.Load() {
 			// Processing is frozen during GVT computation; keep serving
 			// rounds until released.
@@ -440,6 +579,7 @@ func (l *tlp) run() {
 			if !ok || !l.handleAll(l.buf) {
 				return
 			}
+			l.flushSends()
 			continue
 		}
 		t := l.nextLive()
@@ -450,6 +590,7 @@ func (l *tlp) run() {
 			// sleep until messages (or a GVT round) arrive.
 			l.st.Blocks++
 			l.flushLazyBelowNext()
+			l.flushSends()
 			begin := l.trsh.Now()
 			l.sh.idle.Add(1)
 			var ok bool
@@ -459,6 +600,7 @@ func (l *tlp) run() {
 			if !ok || !l.handleAll(l.buf) {
 				return
 			}
+			l.flushSends()
 			continue
 		}
 		events := l.popBatch(t)
@@ -471,6 +613,7 @@ func (l *tlp) run() {
 			return
 		}
 		l.execStep(t, events, false)
+		l.flushSends()
 		// Yield between speculative steps. Without this, a single-core
 		// scheduler lets one LP race arbitrarily far ahead before its
 		// neighbours run at all, and the eventual stragglers roll back
