@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binPath is the parsim binary TestMain builds once for every e2e test.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "parsim-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "parsim")
+	out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building parsim: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// TestMaxEventsAbortExitsNonZero is the regression test for the MaxEvents
+// abort path: the process must exit non-zero and print the engine error,
+// not report a half-finished simulation as success.
+func TestMaxEventsAbortExitsNonZero(t *testing.T) {
+	for _, engine := range []string{"cmb", "timewarp"} {
+		t.Run(engine, func(t *testing.T) {
+			cmd := exec.Command(binPath,
+				"-circuit", "ripple8", "-engine", engine, "-lps", "2", "-max-events", "10", "-q")
+			var stderr, stdout strings.Builder
+			cmd.Stderr = &stderr
+			cmd.Stdout = &stdout
+			err := cmd.Run()
+			if err == nil {
+				t.Fatalf("exit 0 despite event-limit abort; stdout:\n%s", stdout.String())
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatal(err)
+			}
+			if ee.ExitCode() == 0 {
+				t.Fatal("exit code 0")
+			}
+			if !strings.Contains(stderr.String(), "event limit") {
+				t.Errorf("stderr missing the engine error:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunSucceeds is the happy-path e2e check: a small run exits zero and
+// prints the summary line.
+func TestRunSucceeds(t *testing.T) {
+	cmd := exec.Command(binPath,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "2", "-vectors", "5", "-q")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "engine=cmb") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+}
+
+// TestMaxEventsGenerousLimitPasses: a limit above the actual event count
+// must not trip.
+func TestMaxEventsGenerousLimitPasses(t *testing.T) {
+	cmd := exec.Command(binPath,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "2", "-vectors", "5",
+		"-max-events", "5000000", "-q")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generous limit aborted: %v\n%s", err, out)
+	}
+}

@@ -49,6 +49,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "stimulus and partition seed")
 		fineDelays = flag.Uint64("fine-delays", 0, "assign random delays in [1,N] to generated circuits (0 = unit)")
 		window     = flag.Uint64("window", 0, "Time Warp moving window (0 = unbounded)")
+		maxEvents  = flag.Uint64("max-events", 0, "abort with an error after this many events (0 = unlimited)")
 		lazy       = flag.Bool("lazy", false, "Time Warp lazy cancellation")
 		fullCopy   = flag.Bool("full-copy", false, "Time Warp full-copy state saving")
 		vcdPath    = flag.String("vcd", "", "write the output waveform as VCD to this file")
@@ -97,6 +98,7 @@ func main() {
 	opts := core.Options{
 		Engine: engine, LPs: *lps, Partition: method, PartitionSeed: *seed,
 		System: sys, Queue: queue, Window: circuit.Tick(*window),
+		MaxEvents: *maxEvents,
 	}
 	if *traceOut != "" {
 		opts.Tracer = trace.NewTracer(engine.String())

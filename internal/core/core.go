@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim/seq"
 	"repro/internal/sim/sync"
 	"repro/internal/sim/timewarp"
+	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -124,6 +125,11 @@ type Options struct {
 	// PProfLabels tags LP goroutines with runtime/pprof labels
 	// (engine/lp/phase) so CPU profiles break down by logical process.
 	PProfLabels bool
+	// Chaos, when non-nil, wraps the asynchronous engines' per-LP
+	// transports in the fault-injecting chaos layer (see
+	// internal/simtest/chaos). Only the cmb, timewarp, and hybrid engines
+	// honor it; test harness use only.
+	Chaos *inject.Hook
 }
 
 // Report is the engine-independent outcome of a run.
@@ -243,7 +249,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 		res, err := cmb.Run(c, stim, until, cmb.Config{
 			Partition: part, Mode: mode, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
-			Metrics: sink, Tracer: opts.Tracer,
+			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
 		})
 		if err != nil {
 			return nil, err
@@ -260,7 +266,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			Partition: part, Cancellation: cancel, StateSaving: opts.StateSaving,
 			Window: opts.Window, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
-			Metrics: sink, Tracer: opts.Tracer,
+			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
 		})
 		if err != nil {
 			return nil, err
@@ -274,7 +280,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			Cancellation: opts.Cancellation, StateSaving: opts.StateSaving,
 			Window: opts.Window, System: opts.System, Cost: opts.Cost,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
-			Metrics: sink, Tracer: opts.Tracer,
+			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
 		})
 		if err != nil {
 			return nil, err

@@ -17,6 +17,10 @@ import (
 // Moves reassign one random gate to one random other block; the temperature
 // follows a geometric schedule from an initial value calibrated to accept
 // most early uphill moves.
+//
+// Balance bound: the cost function penalizes imbalance quadratically but
+// never forbids it, so the guarantee is soft; the property suite asserts
+// imbalance <= 2.0 for the generator corpus at realistic move budgets.
 func Anneal(c *circuit.Circuit, k int, w Weights, seed int64, moves int) *Partition {
 	if moves <= 0 {
 		moves = 60 * c.NumGates()

@@ -13,6 +13,10 @@ import (
 // same recursive bisection scaffold. Pair selection uses the standard
 // practical refinement of examining the top-D candidates from each side
 // rather than all O(n^2) pairs.
+//
+// Balance bound: swaps exchange one gate for one gate, so each bisection
+// keeps the initial half/half weight split to within the heaviest gate;
+// the property suite asserts imbalance <= 1.25 for the generator corpus.
 func KL(c *circuit.Circuit, k int, w Weights, seed int64) *Partition {
 	return recursiveBisect(c, k, w, seed, klBisect)
 }

@@ -10,6 +10,11 @@ import (
 // territory or a primary output, and place the whole string on the
 // currently lightest block. Strings keep tightly coupled driver/consumer
 // chains together, trading balance precision for low cut.
+//
+// Balance bound: placement is greedy onto the lightest block, so the max
+// block load is at most the mean plus the heaviest single string. Strings
+// are short on realistic circuits (fanout chains dead-end quickly), so the
+// property suite asserts imbalance <= 1.25 for the generator corpus.
 func Strings(c *circuit.Circuit, k int, w Weights) *Partition {
 	p := &Partition{Blocks: k, Assign: make([]int, c.NumGates())}
 	for g := range p.Assign {
@@ -72,6 +77,13 @@ func Strings(c *circuit.Circuit, k int, w Weights) *Partition {
 // unassigned transitive fanin cone breadth-first and place the cone on the
 // lightest block. Cones cluster the logic that computes each output, so
 // output-to-output independence becomes block-to-block independence.
+//
+// Balance bound: balance is subordinate to cone integrity — a dominant
+// output cone lands on one block whole. The guarantee is the greedy
+// list-scheduling bound: max block load <= mean load + the heaviest item
+// placed, and every item is a subset of some gate's full fanin cone, so
+// imbalance <= 1 + maxConeWeight/meanLoad. The property suite asserts
+// exactly that bound with an independently recomputed cone weight.
 func Cones(c *circuit.Circuit, k int, w Weights) *Partition {
 	p := &Partition{Blocks: k, Assign: make([]int, c.NumGates())}
 	for g := range p.Assign {

@@ -38,6 +38,7 @@ import (
 	"repro/internal/mpsc"
 	"repro/internal/partition"
 	"repro/internal/sim/kernel"
+	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -86,6 +87,11 @@ type Config struct {
 	// Tracer, when non-nil, records per-LP evaluate/block spans and
 	// coordinator quiescence-detection spans.
 	Tracer *trace.Tracer
+	// Chaos, when non-nil, wraps every LP inbox in the fault-injecting
+	// chaos transport and enables stall points at the evaluate/block
+	// boundaries. Test harness use only; nil leaves the hot path on the
+	// raw mailboxes.
+	Chaos *inject.Hook
 }
 
 // Result is the outcome of a conservative run.
@@ -117,6 +123,23 @@ type msg struct {
 	value logic.Value
 }
 
+// msgMeta projects a message to its chaos-transport role: values and
+// nulls are timestamped members of their sender's FIFO stream, promise
+// requests ride the stream without time semantics, and coordinator
+// traffic (permits, terminate) is control that chaos must not touch.
+func msgMeta(m msg) inject.Meta {
+	switch m.kind {
+	case msgValue:
+		return inject.Meta{Kind: inject.Value, From: m.from, Time: uint64(m.time)}
+	case msgNull:
+		return inject.Meta{Kind: inject.Null, From: m.from, Time: uint64(m.time)}
+	case msgRequest:
+		return inject.Meta{Kind: inject.Aux, From: m.from}
+	default:
+		return inject.Meta{Kind: inject.Control}
+	}
+}
+
 // outLink is one cross-LP edge with its lookahead.
 type outLink struct {
 	dst int
@@ -128,7 +151,7 @@ type shared struct {
 	cfg     Config
 	c       *circuit.Circuit
 	until   circuit.Tick
-	inboxes []*mpsc.Mailbox[msg]
+	inboxes []mpsc.Transport[msg]
 	transit atomic.Int64
 	events  atomic.Uint64
 	abort   atomic.Bool
@@ -142,6 +165,22 @@ type shared struct {
 	// deadlock recovery slow: the paper's circulating-marker algorithms pay
 	// a global synchronization per advance.
 	rounds uint64
+
+	failMu  gosync.Mutex
+	failErr error
+}
+
+// fail records the first fatal protocol error and aborts the run. A
+// conservative LP that receives a straggler cannot continue — the past it
+// would have to revisit is already evaluated — so the whole run stops and
+// Run surfaces the error instead of panicking in an LP goroutine.
+func (sh *shared) fail(err error) {
+	sh.failMu.Lock()
+	if sh.failErr == nil {
+		sh.failErr = err
+	}
+	sh.failMu.Unlock()
+	sh.abortAll()
 }
 
 // clp is one conservative logical process.
@@ -221,9 +260,20 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 
 	sh := &shared{cfg: cfg, c: c, until: until, sink: sink}
 	sh.coShard = cfg.Tracer.Shard("coordinator")
-	sh.inboxes = make([]*mpsc.Mailbox[msg], n)
+	sh.inboxes = make([]mpsc.Transport[msg], n)
 	for i := range sh.inboxes {
-		sh.inboxes[i] = mpsc.NewCap[msg](64)
+		var tr mpsc.Transport[msg] = mpsc.NewCap[msg](64)
+		if cfg.Chaos != nil {
+			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta)
+		}
+		sh.inboxes[i] = tr
+	}
+	// laBias widens every link lookahead when the chaos hook's sabotage
+	// knob is set: the engine then promises bounds it cannot keep, which
+	// the chaos transport's promise checker must catch.
+	laBias := circuit.Tick(0)
+	if cfg.Chaos != nil {
+		laBias = circuit.Tick(cfg.Chaos.LookaheadBias)
 	}
 	// Derive the LP graph: links and lookaheads.
 	type linkKey struct{ src, dst int }
@@ -314,7 +364,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		lps[i] = l
 	}
 	for k2, d := range la {
-		lps[k2.src].out = append(lps[k2.src].out, outLink{k2.dst, d})
+		lps[k2.src].out = append(lps[k2.src].out, outLink{k2.dst, d + laBias})
 		lps[k2.src].last[k2.dst] = 0
 		lps[k2.dst].in = append(lps[k2.dst].in, k2.src)
 		lps[k2.dst].bound[k2.src] = 1
@@ -394,6 +444,12 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	wg.Wait()
 
 	if sh.abort.Load() {
+		sh.failMu.Lock()
+		ferr := sh.failErr
+		sh.failMu.Unlock()
+		if ferr != nil {
+			return nil, ferr
+		}
 		if coordErr != nil {
 			return nil, coordErr
 		}
@@ -517,6 +573,11 @@ func (l *clp) handle(m msg) bool {
 	case msgValue:
 		l.sh.transit.Add(-1)
 		l.st.MessagesRecv++
+		if m.time < l.lvt {
+			l.sh.fail(fmt.Errorf("cmb: causality violation: lp %d received value for t=%d from lp %d after processing t=%d",
+				l.id, m.time, m.from, l.lvt))
+			return false
+		}
 		l.q.Push(uint64(m.time), kernel.Event{Gate: m.gate, Value: m.value})
 	case msgNull:
 		l.st.NullsRecv++
@@ -591,6 +652,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 			l.lvt = t
 			l.end = t
 		}
+		l.sh.cfg.Chaos.Stall(l.id, inject.PhaseEvaluate)
 		if !detect {
 			// Push promises eagerly, or answer outstanding requests only
 			// (demand mode); either way only increases are transmitted.
@@ -621,6 +683,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 		// About to park: everything buffered — values, folded promises,
 		// promise requests — must be on the wire first.
 		l.flushSends()
+		l.sh.cfg.Chaos.Stall(l.id, inject.PhaseBlock)
 		l.st.Blocks++
 		blockBegin := l.trsh.Now()
 		var ok bool

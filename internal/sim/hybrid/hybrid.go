@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sim/timewarp"
+	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -52,6 +53,9 @@ type Config struct {
 	Metrics metrics.Sink
 	// Tracer is forwarded to the inter-cluster optimistic protocol.
 	Tracer *trace.Tracer
+	// Chaos is forwarded to the inter-cluster optimistic protocol's
+	// transport layer. Test harness use only.
+	Chaos *inject.Hook
 }
 
 // Result is the outcome of a hybrid run.
@@ -97,6 +101,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		MaxEvents:    cfg.MaxEvents,
 		Metrics:      sink,
 		Tracer:       cfg.Tracer,
+		Chaos:        cfg.Chaos,
 	})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/sim/kernel"
+	"repro/internal/simtest/chaos/inject"
 	"repro/internal/trace"
 )
 
@@ -422,6 +423,7 @@ func (l *tlp) rollback(ts circuit.Tick) {
 	}
 	l.st.Hist(metrics.HistRollbackDepth).Observe(l.st.EventsRolledBack - undoneBefore)
 	l.trsh.Span(trace.PhaseRollback, begin, ts)
+	l.cfg.Chaos.Stall(l.id, inject.PhaseRollback)
 }
 
 // sendAnti queues an anti-message for a previously sent message; the batch
@@ -591,6 +593,7 @@ func (l *tlp) run() {
 			l.st.Blocks++
 			l.flushLazyBelowNext()
 			l.flushSends()
+			l.cfg.Chaos.Stall(l.id, inject.PhaseBlock)
 			begin := l.trsh.Now()
 			l.sh.idle.Add(1)
 			var ok bool
@@ -614,6 +617,7 @@ func (l *tlp) run() {
 		}
 		l.execStep(t, events, false)
 		l.flushSends()
+		l.cfg.Chaos.Stall(l.id, inject.PhaseEvaluate)
 		// Yield between speculative steps. Without this, a single-core
 		// scheduler lets one LP race arbitrarily far ahead before its
 		// neighbours run at all, and the eventual stragglers roll back

@@ -34,6 +34,7 @@ import (
 	"repro/internal/mpsc"
 	"repro/internal/partition"
 	"repro/internal/sim/kernel"
+	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -124,6 +125,11 @@ type Config struct {
 	// Tracer, when non-nil, records per-LP evaluate/rollback/block spans
 	// and coordinator GVT spans.
 	Tracer *trace.Tracer
+	// Chaos, when non-nil, wraps every LP inbox in the fault-injecting
+	// chaos transport and enables stall points at the
+	// evaluate/rollback/block boundaries. Test harness use only; nil
+	// leaves the hot path on the raw mailboxes.
+	Chaos *inject.Hook
 }
 
 // Result is the outcome of an optimistic run.
@@ -160,6 +166,20 @@ type msg struct {
 	value logic.Value
 }
 
+// msgMeta projects a message to its chaos-transport role: values and
+// anti-messages are members of their sender's FIFO stream (annihilation
+// depends on that order, so chaos preserves it); GVT rounds and
+// termination are coordinator control that chaos must not touch. Time
+// Warp has no promises, so no timestamps are bound-checked.
+func msgMeta(m msg) inject.Meta {
+	switch m.kind {
+	case msgValue, msgAnti:
+		return inject.Meta{Kind: inject.Value, From: m.from, Time: uint64(m.time)}
+	default:
+		return inject.Meta{Kind: inject.Control}
+	}
+}
+
 // gvtReply is an LP's answer to one GVT round.
 type gvtReply struct {
 	handled  uint64       // messages handled since the previous reply
@@ -171,7 +191,7 @@ type shared struct {
 	cfg     Config
 	c       *circuit.Circuit
 	until   circuit.Tick
-	inboxes []*mpsc.Mailbox[msg]
+	inboxes []mpsc.Transport[msg]
 	sink    metrics.Sink
 	tracer  *trace.Tracer
 	coShard *trace.Shard
@@ -236,9 +256,13 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 
 	sh := &shared{cfg: cfg, c: c, until: until, sink: sink, tracer: cfg.Tracer}
 	sh.coShard = cfg.Tracer.Shard("coordinator")
-	sh.inboxes = make([]*mpsc.Mailbox[msg], n)
+	sh.inboxes = make([]mpsc.Transport[msg], n)
 	for i := range sh.inboxes {
-		sh.inboxes[i] = mpsc.New[msg]()
+		var tr mpsc.Transport[msg] = mpsc.New[msg]()
+		if cfg.Chaos != nil {
+			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta)
+		}
+		sh.inboxes[i] = tr
 	}
 	sh.replies = make(chan gvtReply, n)
 

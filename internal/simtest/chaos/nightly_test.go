@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestExploreNightly is the scheduled CI entry point (see the
+// chaos-nightly job in .github/workflows/ci.yml). It sweeps a wide,
+// date-derived seed range under a wall-clock budget so every nightly run
+// explores fresh schedules while staying reproducible within the day:
+// re-running the job replays the same seeds, and any failure's repro
+// line pins the seed forever. Gated on CHAOS_NIGHTLY=1 so ordinary
+// `go test ./...` never pays for it.
+//
+// Environment:
+//
+//	CHAOS_NIGHTLY=1        enable (otherwise skipped)
+//	CHAOS_BUDGET=25m       wall-clock budget (default 20m)
+//	CHAOS_ARTIFACT_DIR=dir write failing repro commands here, one file
+//	                       per failure, for CI artifact upload
+func TestExploreNightly(t *testing.T) {
+	if os.Getenv("CHAOS_NIGHTLY") != "1" {
+		t.Skip("set CHAOS_NIGHTLY=1 to run the nightly sweep")
+	}
+	budget := 20 * time.Minute
+	if s := os.Getenv("CHAOS_BUDGET"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("CHAOS_BUDGET %q: %v", s, err)
+		}
+		budget = d
+	}
+	// Seeds derived from the date: stable across re-runs of the same
+	// nightly job, different from yesterday's.
+	day, err := strconv.ParseUint(time.Now().UTC().Format("20060102"), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := day * 1000
+
+	deadline := time.Now().Add(budget)
+	artifacts := os.Getenv("CHAOS_ARTIFACT_DIR")
+	var failures int
+	for round := uint64(0); time.Now().Before(deadline); round++ {
+		outs, err := Explore(Config{Seeds: []uint64{base + round}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs {
+			o := &outs[i]
+			if !o.Failed() {
+				continue
+			}
+			failures++
+			t.Errorf("%s/%v/seed=%d failed:\n%s\nminimal (%d faults): %s\nrepro: %s",
+				o.Workload, o.Engine, o.Seed, o.Failure, len(o.Keep), o.MinFailure, o.Repro)
+			if artifacts != "" {
+				name := fmt.Sprintf("chaos-%s-%v-seed%d.txt", o.Workload, o.Engine, o.Seed)
+				body := fmt.Sprintf("failure:\n%s\n\nminimal failure:\n%s\n\nrepro:\n%s\n",
+					o.Failure, o.MinFailure, o.Repro)
+				if werr := os.WriteFile(filepath.Join(artifacts, name), []byte(body), 0o644); werr != nil {
+					t.Logf("writing artifact %s: %v", name, werr)
+				}
+			}
+		}
+		t.Logf("round %d (seed %d): %d runs, %d total failures", round, base+round, len(outs), failures)
+	}
+}

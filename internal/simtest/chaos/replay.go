@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/simtest/chaos/inject"
+)
+
+// ReplaySpec names one perturbed run precisely enough to reproduce it:
+// the workload (reconstructible by name), the engine, the plan seed and
+// size, the sabotage bias, and the fault subset kept after shrinking. Its
+// textual form is what Explore prints in repro commands.
+type ReplaySpec struct {
+	Workload string
+	Engine   core.Engine
+	Seed     uint64
+	LPs      int
+	Faults   int
+	Bias     uint64
+	// Keep selects plan indices; nil replays the full plan.
+	Keep []int
+}
+
+// String renders the spec in the key=value form ParseReplay accepts.
+func (s ReplaySpec) String() string {
+	out := fmt.Sprintf("workload=%s,engine=%v,seed=%d,lps=%d,faults=%d,bias=%d",
+		s.Workload, s.Engine, s.Seed, s.LPs, s.Faults, s.Bias)
+	if s.Keep != nil {
+		out += ",keep=" + joinInts(s.Keep)
+	}
+	return out
+}
+
+// ParseReplay parses a spec previously rendered by String.
+func ParseReplay(text string) (ReplaySpec, error) {
+	spec := ReplaySpec{LPs: 4, Faults: 16}
+	for _, kv := range strings.Split(text, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("chaos: replay spec field %q: want key=value", kv)
+		}
+		var err error
+		switch k {
+		case "workload":
+			spec.Workload = v
+		case "engine":
+			spec.Engine, err = core.ParseEngine(v)
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "lps":
+			spec.LPs, err = strconv.Atoi(v)
+		case "faults":
+			spec.Faults, err = strconv.Atoi(v)
+		case "bias":
+			spec.Bias, err = strconv.ParseUint(v, 10, 64)
+		case "keep":
+			spec.Keep = []int{}
+			if v != "-" && v != "" {
+				for _, part := range strings.Split(v, ";") {
+					i, perr := strconv.Atoi(part)
+					if perr != nil {
+						return spec, fmt.Errorf("chaos: replay spec keep index %q: %v", part, perr)
+					}
+					spec.Keep = append(spec.Keep, i)
+				}
+			}
+		default:
+			return spec, fmt.Errorf("chaos: replay spec: unknown key %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("chaos: replay spec %s=%s: %v", k, v, err)
+		}
+	}
+	if spec.Workload == "" {
+		return spec, fmt.Errorf("chaos: replay spec: workload is required")
+	}
+	return spec, nil
+}
+
+// Replay reruns one spec and returns its outcome. Because plans are pure
+// functions of their seed and verdicts are schedule-independent, a replay
+// of a shrunk failure fails the same checks as the original sweep.
+func Replay(spec ReplaySpec) (Outcome, error) {
+	w, err := WorkloadByName(spec.Workload)
+	if err != nil {
+		return Outcome{}, err
+	}
+	ref, err := goldenRun(w)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("chaos: sequential golden for %q: %w", spec.Workload, err)
+	}
+	full := inject.NewPlan(spec.Seed, spec.LPs, spec.Faults)
+	plan := full
+	if spec.Keep != nil {
+		plan = make(inject.Plan, 0, len(spec.Keep))
+		for _, i := range spec.Keep {
+			if i < 0 || i >= len(full) {
+				return Outcome{}, fmt.Errorf("chaos: replay keep index %d out of range [0,%d)", i, len(full))
+			}
+			plan = append(plan, full[i])
+		}
+	}
+	hook := inject.NewHook(spec.Seed, plan)
+	hook.LookaheadBias = spec.Bias
+	o := Outcome{Workload: spec.Workload, Engine: spec.Engine, Seed: spec.Seed, Plan: plan, Keep: spec.Keep}
+	o.Failure = runOnce(w, spec.Engine, ref, spec.LPs, 5_000_000, hook)
+	return o, nil
+}

@@ -1,0 +1,38 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+)
+
+// replaySpec is set by the -replay flag that Explore's repro commands
+// pass; see reproLine.
+var replaySpec = flag.String("replay", "", "chaos replay spec (workload=...,engine=...,seed=...,...)")
+
+// TestReplay reruns one shrunk failure named by -replay. Without the flag
+// it is a no-op, so the repro command printed by a failing sweep is the
+// only intended entry point:
+//
+//	go test ./internal/simtest/chaos -run 'TestReplay$' -replay '<spec>'
+func TestReplay(t *testing.T) {
+	if *replaySpec == "" {
+		t.Skip("no -replay spec given")
+	}
+	spec, err := ParseReplay(*replaySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Replay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plan (%d faults):", len(o.Plan))
+	for i, f := range o.Plan {
+		t.Logf("  [%d] %s", i, f)
+	}
+	if o.Failed() {
+		t.Errorf("replayed failure:\n%s", o.Failure)
+	} else {
+		t.Log("replay passed (failure did not reproduce)")
+	}
+}

@@ -1,0 +1,72 @@
+package chaos
+
+import "repro/internal/simtest/chaos/inject"
+
+// Shrink reduces a failing plan to a small failing subset of its fault
+// indices with delta debugging (ddmin). run must be a deterministic
+// predicate over plan subsets — the same subset must fail the same way on
+// every call — which holds for this harness because verdicts are
+// schedule-independent (see the package comment). fullFailure is the
+// failure already observed on the complete plan; budget caps the number
+// of probe runs.
+//
+// The empty subset is probed first: an engine broken independently of the
+// injected faults (the interesting kind of finding) fails with no faults
+// at all, and that is the smallest possible repro.
+func Shrink(plan inject.Plan, fullFailure string, run func(inject.Plan) string, budget int) ([]int, string) {
+	probes := 0
+	fails := func(idx []int) (bool, string) {
+		if probes >= budget {
+			return false, ""
+		}
+		probes++
+		sub := make(inject.Plan, 0, len(idx))
+		for _, i := range idx {
+			sub = append(sub, plan[i])
+		}
+		f := run(sub)
+		return f != "", f
+	}
+
+	if ok, f := fails(nil); ok {
+		return []int{}, f
+	}
+
+	cur := allIndices(len(plan))
+	curFailure := fullFailure
+	n := 2
+	for len(cur) >= 2 && probes < budget {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		// Try each chunk alone.
+		for i := 0; i < len(cur) && !reduced; i += chunk {
+			subset := cur[i:min(i+chunk, len(cur))]
+			if ok, f := fails(subset); ok {
+				cur = append([]int(nil), subset...)
+				curFailure = f
+				n = 2
+				reduced = true
+			}
+		}
+		// Then each chunk's complement.
+		if !reduced && n > 2 {
+			for i := 0; i < len(cur) && !reduced; i += chunk {
+				comp := append([]int(nil), cur[:i]...)
+				comp = append(comp, cur[min(i+chunk, len(cur)):]...)
+				if ok, f := fails(comp); ok {
+					cur = comp
+					curFailure = f
+					n = max(n-1, 2)
+					reduced = true
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+	return cur, curFailure
+}

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/vectors"
+)
+
+// Workload is one circuit + stimulus + horizon, reconstructible from its
+// name alone so a repro command can name it.
+type Workload struct {
+	Name  string
+	C     *circuit.Circuit
+	Stim  *vectors.Stimulus
+	Until circuit.Tick
+}
+
+// DefaultWorkloads is the standard sweep corpus: a combinational adder
+// under random vectors (null-message heavy), a fine-delay random DAG
+// (irregular cross-LP traffic), and a clocked counter (low activity,
+// blocking-dominated).
+var DefaultWorkloads = []string{"ripple8", "dag150", "counter5"}
+
+// WorkloadByName reconstructs a named workload deterministically. Every
+// parameter below is a constant: the workload is a pure function of its
+// name, which is what makes failure repro lines self-contained.
+func WorkloadByName(name string) (*Workload, error) {
+	var (
+		c   *circuit.Circuit
+		err error
+	)
+	switch name {
+	case "ripple8":
+		c, err = gen.ByName("ripple8", gen.Unit, 1)
+	case "dag150":
+		c, err = gen.ByName("dag150", gen.Fine(6, 3), 3)
+	case "counter5":
+		c, err = gen.ByName("counter5", gen.Unit, 1)
+	default:
+		return nil, fmt.Errorf("chaos: unknown workload %q (have %v)", name, DefaultWorkloads)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos: workload %q: %w", name, err)
+	}
+	var stim *vectors.Stimulus
+	switch name {
+	case "counter5":
+		stim, err = vectors.Clocked(c, vectors.ClockedConfig{
+			Clock: "clk", Cycles: 10, HalfPeriod: 15, Activity: 0.5, Seed: 9,
+		})
+	default:
+		stim, err = vectors.Random(c, vectors.RandomConfig{
+			Vectors: 12, Period: 25, Activity: 0.6, Seed: 7,
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos: workload %q stimulus: %w", name, err)
+	}
+	return &Workload{Name: name, C: c, Stim: stim, Until: core.Horizon(c, stim)}, nil
+}
