@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -30,32 +31,209 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
+// run executes the built parsim binary and returns (stdout, stderr, exit
+// code). A zero code means success; -1 means the process failed to start.
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running parsim: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
 // TestMaxEventsAbortExitsNonZero is the regression test for the MaxEvents
-// abort path: the process must exit non-zero and print the engine error,
-// not report a half-finished simulation as success.
+// abort path: the process must exit with the event-limit code (5) and
+// print the engine error, not report a half-finished simulation as
+// success.
 func TestMaxEventsAbortExitsNonZero(t *testing.T) {
 	for _, engine := range []string{"cmb", "timewarp"} {
 		t.Run(engine, func(t *testing.T) {
-			cmd := exec.Command(binPath,
+			stdout, stderr, code := run(t,
 				"-circuit", "ripple8", "-engine", engine, "-lps", "2", "-max-events", "10", "-q")
-			var stderr, stdout strings.Builder
-			cmd.Stderr = &stderr
-			cmd.Stdout = &stdout
-			err := cmd.Run()
-			if err == nil {
-				t.Fatalf("exit 0 despite event-limit abort; stdout:\n%s", stdout.String())
+			if code != exitEventLimit {
+				t.Fatalf("exit code %d, want %d; stdout:\n%s\nstderr:\n%s", code, exitEventLimit, stdout, stderr)
 			}
-			ee, ok := err.(*exec.ExitError)
-			if !ok {
-				t.Fatal(err)
-			}
-			if ee.ExitCode() == 0 {
-				t.Fatal("exit code 0")
-			}
-			if !strings.Contains(stderr.String(), "event limit") {
-				t.Errorf("stderr missing the engine error:\n%s", stderr.String())
+			if !strings.Contains(stderr, "event limit") {
+				t.Errorf("stderr missing the engine error:\n%s", stderr)
 			}
 		})
+	}
+}
+
+// TestExitCodePanic: an injected LP panic without supervision must be
+// recovered into a structured error and classified as exit code 4.
+func TestExitCodePanic(t *testing.T) {
+	for _, engine := range []string{"cmb", "timewarp"} {
+		t.Run(engine, func(t *testing.T) {
+			stdout, stderr, code := run(t,
+				"-circuit", "ripple8", "-engine", engine, "-lps", "2",
+				"-fault-panic-lp", "1", "-q")
+			if code != exitPanic {
+				t.Fatalf("exit code %d, want %d; stdout:\n%s\nstderr:\n%s", code, exitPanic, stdout, stderr)
+			}
+			if !strings.Contains(stderr, "panic") {
+				t.Errorf("stderr missing panic classification:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// TestExitCodeHang: a permanently stalled LP with the watchdog armed but
+// fallback disabled must abort with the hang code (3) and a
+// machine-readable report.
+func TestExitCodeHang(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "2",
+		"-fault-hang-lp", "1", "-watchdog", "250ms", "-retries", "0", "-fallback=false", "-q")
+	if code != exitHang {
+		t.Fatalf("exit code %d, want %d; stdout:\n%s\nstderr:\n%s", code, exitHang, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "hang report") || !strings.Contains(stderr, "mailbox_depth") {
+		t.Errorf("stderr missing the hang report:\n%s", stderr)
+	}
+}
+
+// TestExitCodeCausality: sabotaged lookahead promises make the
+// conservative engine deliver stragglers; the violation must be detected
+// and classified as exit code 2.
+func TestExitCodeCausality(t *testing.T) {
+	_, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "4",
+		"-fault-lookahead-bias", "20", "-q")
+	if code != exitCausality {
+		t.Fatalf("exit code %d, want %d; stderr:\n%s", code, exitCausality, stderr)
+	}
+	if !strings.Contains(stderr, "causality") {
+		t.Errorf("stderr missing causality classification:\n%s", stderr)
+	}
+}
+
+// TestSupervisedHangRecovers: same permanent stall, but with fallback
+// enabled the run must complete via degradation and exit zero.
+func TestSupervisedHangRecovers(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "2",
+		"-fault-hang-lp", "1", "-watchdog", "250ms", "-retries", "0")
+	if code != 0 {
+		t.Fatalf("supervised run failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "fallbacks=1") {
+		t.Errorf("stdout missing the fallback count:\n%s", stdout)
+	}
+}
+
+// TestSupervisedPanicRetrySucceeds: a one-shot panic under supervision is
+// absorbed by a retry of the same engine.
+func TestSupervisedPanicRetrySucceeds(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "timewarp", "-lps", "2",
+		"-fault-panic-lp", "1", "-supervise", "-retries", "1")
+	if code != 0 {
+		t.Fatalf("supervised run failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "recoveries=1") || !strings.Contains(stdout, "final-engine=timewarp") {
+		t.Errorf("stdout missing the recovery summary:\n%s", stdout)
+	}
+}
+
+// readFile is a fatal-on-error file slurp for waveform comparisons.
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCheckpointRestoreVCD covers the full persistence loop end to end:
+// a checkpointed run leaves snapshots on disk, and resuming from a mid-run
+// snapshot reproduces the uninterrupted waveform byte for byte — including
+// across an engine switch on restore.
+func TestCheckpointRestoreVCD(t *testing.T) {
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden.vcd")
+	if _, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "seq", "-vcd", golden, "-q"); code != 0 {
+		t.Fatalf("golden run failed:\n%s", stderr)
+	}
+
+	ckptDir := filepath.Join(dir, "ckpts")
+	checked := filepath.Join(dir, "checked.vcd")
+	if _, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "seq",
+		"-checkpoint-every", "400", "-checkpoint-dir", ckptDir,
+		"-vcd", checked, "-q"); code != 0 {
+		t.Fatalf("checkpointed run failed:\n%s", stderr)
+	}
+	if readFile(t, checked) != readFile(t, golden) {
+		t.Fatal("checkpoint writing perturbed the waveform")
+	}
+	snaps, err := filepath.Glob(filepath.Join(ckptDir, "ckpt-*.json"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("expected >= 2 checkpoints, got %v (err=%v)", snaps, err)
+	}
+	sort.Strings(snaps)
+	mid := snaps[len(snaps)/2]
+
+	for _, engine := range []string{"seq", "cmb", "timewarp"} {
+		restored := filepath.Join(dir, "restored-"+engine+".vcd")
+		if _, stderr, code := run(t,
+			"-circuit", "ripple8", "-engine", engine, "-lps", "2",
+			"-restore", mid, "-vcd", restored, "-q"); code != 0 {
+			t.Fatalf("%s restore failed:\n%s", engine, stderr)
+		}
+		if readFile(t, restored) != readFile(t, golden) {
+			t.Errorf("%s: restored waveform differs from the uninterrupted run", engine)
+		}
+	}
+}
+
+// TestKillRestoreVCD models an interrupted run: the event limit kills the
+// process partway (exit 5) with checkpoints already on disk, and restoring
+// from the last one completes the simulation with the exact uninterrupted
+// waveform.
+func TestKillRestoreVCD(t *testing.T) {
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden.vcd")
+	if _, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "seq", "-vcd", golden, "-q"); code != 0 {
+		t.Fatalf("golden run failed:\n%s", stderr)
+	}
+
+	ckptDir := filepath.Join(dir, "ckpts")
+	_, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "seq",
+		"-checkpoint-every", "300", "-checkpoint-dir", ckptDir,
+		"-max-events", "2000", "-q")
+	if code != exitEventLimit {
+		t.Fatalf("interrupted run exited %d, want %d:\n%s", code, exitEventLimit, stderr)
+	}
+	snaps, err := filepath.Glob(filepath.Join(ckptDir, "ckpt-*.json"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("kill left no checkpoints behind (err=%v)", err)
+	}
+	sort.Strings(snaps)
+	last := snaps[len(snaps)-1]
+
+	restored := filepath.Join(dir, "restored.vcd")
+	if _, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "seq",
+		"-restore", last, "-vcd", restored, "-q"); code != 0 {
+		t.Fatalf("restore after kill failed:\n%s", stderr)
+	}
+	if readFile(t, restored) != readFile(t, golden) {
+		t.Error("post-kill restore does not reproduce the uninterrupted waveform")
 	}
 }
 

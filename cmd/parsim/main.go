@@ -15,10 +15,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
@@ -27,10 +29,22 @@ import (
 	"repro/internal/gen"
 	"repro/internal/logic"
 	"repro/internal/partition"
+	"repro/internal/sim/ckpt"
 	"repro/internal/sim/timewarp"
+	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
+)
+
+// Exit codes classify failures for scripts and the e2e suite: 2 causality
+// violation, 3 watchdog hang, 4 panic recovered by the supervision layer,
+// 5 event limit exceeded, 1 anything else.
+const (
+	exitCausality  = 2
+	exitHang       = 3
+	exitPanic      = 4
+	exitEventLimit = 5
 )
 
 func main() {
@@ -57,6 +71,19 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event timeline (chrome://tracing, Perfetto) to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (enables pprof LP labels)")
 		quiet      = flag.Bool("q", false, "print only the summary line")
+
+		supervised = flag.Bool("supervise", false, "run under the supervision layer (panic isolation, retries, fallback)")
+		watchdog   = flag.Duration("watchdog", 0, "abort after this long without progress (implies -supervise)")
+		retries    = flag.Int("retries", 1, "supervised retries of the selected engine before falling back")
+		fallback   = flag.Bool("fallback", true, "supervised: degrade to sync then seq when retries are exhausted")
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "write a checkpoint every N ticks of modeled time (0 = off)")
+		ckptDir    = flag.String("checkpoint-dir", "checkpoints", "directory receiving ckpt-<time>.json files")
+		restore    = flag.String("restore", "", "resume from this checkpoint file")
+		histLimit  = flag.Uint64("history-limit", 0, "Time Warp saved-history bound in words (0 = unlimited)")
+
+		faultPanicLP = flag.Int("fault-panic-lp", -1, "chaos: panic once inside this LP (-1 = off)")
+		faultHangLP  = flag.Int("fault-hang-lp", -1, "chaos: hang this LP until the run aborts (-1 = off)")
+		faultBias    = flag.Uint64("fault-lookahead-bias", 0, "chaos: inflate cmb lookahead promises by N ticks (forces causality violations)")
 	)
 	flag.Parse()
 
@@ -122,6 +149,34 @@ func main() {
 		fatal(err)
 		opts.Weights = w
 	}
+	if *faultPanicLP >= 0 || *faultHangLP >= 0 || *faultBias > 0 {
+		hook := inject.NewHook(uint64(*seed), nil)
+		hook.PanicLP = *faultPanicLP
+		hook.HangLP = *faultHangLP
+		hook.LookaheadBias = *faultBias
+		opts.Chaos = hook
+	}
+	if *watchdog > 0 {
+		*supervised = true
+	}
+	if *supervised {
+		opts.Supervise = &core.SuperviseOptions{
+			Watchdog: *watchdog,
+			Retries:  *retries,
+			Backoff:  10 * time.Millisecond,
+			Fallback: *fallback,
+		}
+	}
+	opts.HistoryLimit = *histLimit
+	if *ckptEvery > 0 {
+		opts.CheckpointEvery = circuit.Tick(*ckptEvery)
+		opts.CheckpointDir = *ckptDir
+	}
+	if *restore != "" {
+		st, err := ckpt.ReadFile(*restore)
+		fatal(err)
+		opts.Restore = st
+	}
 
 	st := c.ComputeStats()
 	if !*quiet {
@@ -132,6 +187,14 @@ func main() {
 
 	rep, err := core.Simulate(c, stim, until, opts)
 	fatal(err)
+
+	if rep.Supervision != nil && !*quiet {
+		fmt.Printf("supervision: final-engine=%s recoveries=%d fallbacks=%d\n",
+			rep.Supervision.FinalEngine, rep.Supervision.Recoveries, rep.Supervision.Fallbacks)
+		for _, a := range rep.Supervision.Attempts {
+			fmt.Printf("supervision: recovered attempt: %s\n", a)
+		}
+	}
 
 	model := stats.DefaultCostModel()
 	fmt.Printf("engine=%s lps=%d modeled=%.2fms wall=%v\n",
@@ -230,8 +293,23 @@ func isInput(c *circuit.Circuit, name string) bool {
 }
 
 func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "parsim:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "parsim:", err)
+	code := 1
+	var se *core.SimError
+	if errors.As(err, &se) {
+		switch se.Kind {
+		case core.KindCausality:
+			code = exitCausality
+		case core.KindHang:
+			code = exitHang
+		case core.KindPanic:
+			code = exitPanic
+		case core.KindEventLimit:
+			code = exitEventLimit
+		}
+	}
+	os.Exit(code)
 }

@@ -9,16 +9,19 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/eventq"
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/sim/ckpt"
 	"repro/internal/sim/cmb"
 	"repro/internal/sim/hybrid"
 	"repro/internal/sim/oblivious"
 	"repro/internal/sim/seq"
+	"repro/internal/sim/supervise"
 	"repro/internal/sim/sync"
 	"repro/internal/sim/timewarp"
 	"repro/internal/simtest/chaos/inject"
@@ -130,7 +133,75 @@ type Options struct {
 	// internal/simtest/chaos). Only the cmb, timewarp, and hybrid engines
 	// honor it; test harness use only.
 	Chaos *inject.Hook
+
+	// Supervise, when non-nil, runs the engine under the supervision
+	// layer: watchdog, retry/backoff, and graceful degradation to simpler
+	// engines. See SuperviseOptions.
+	Supervise *SuperviseOptions
+	// HistoryLimit bounds the optimistic engines' saved-history memory in
+	// words; 0 means unlimited. See timewarp.Config.HistoryLimit.
+	HistoryLimit uint64
+	// CheckpointEvery, with CheckpointDir, writes a consistent snapshot
+	// every multiple of this modeled time. Snapshots are produced by a
+	// sequential shadow run — legitimate because every engine reproduces
+	// the sequential trajectory exactly, so the sequential state at a
+	// boundary IS a consistent cut for any engine.
+	CheckpointEvery circuit.Tick
+	// CheckpointDir is the directory receiving ckpt-<time>.json files.
+	CheckpointDir string
+	// Restore, when non-nil, resumes the run from a checkpoint: engine
+	// state is seeded from the snapshot and the report's waveform is the
+	// checkpoint prefix plus the resumed suffix — bit-identical to an
+	// uninterrupted run. The oblivious engine does not support it.
+	Restore *ckpt.State
 }
+
+// SuperviseOptions configures the supervision layer.
+type SuperviseOptions struct {
+	// Watchdog, when non-zero, aborts an engine run (with a
+	// machine-readable hang report) after this long without global
+	// progress. Honored by the asynchronous engines (cmb, timewarp,
+	// hybrid); the barrier-stepped engines cannot stall between barriers.
+	Watchdog time.Duration
+	// Retries is how many times a recoverable failure of the selected
+	// engine is retried before degrading; 0 means fail over immediately.
+	Retries int
+	// Backoff is slept between attempts (doubled each retry).
+	Backoff time.Duration
+	// Fallback enables graceful degradation: after the retries are
+	// exhausted the run falls back to the synchronous engine, then to the
+	// sequential reference. All engines produce identical waveforms, so
+	// degradation trades performance, never correctness.
+	Fallback bool
+}
+
+// SupervisionReport records what the supervision layer did.
+type SupervisionReport struct {
+	// Recoveries counts failed attempts that were retried on the same
+	// engine; Fallbacks counts degradations to a simpler engine.
+	Recoveries uint64
+	Fallbacks  uint64
+	// FinalEngine is the engine that produced the result.
+	FinalEngine Engine
+	// Attempts holds the error of every failed attempt, in order.
+	Attempts []string
+}
+
+// SimError is the structured simulation error; re-exported so callers can
+// classify failures with errors.As without importing the engine internals.
+type SimError = supervise.SimError
+
+// Kind classifies a SimError.
+type Kind = supervise.Kind
+
+// The error kinds.
+const (
+	KindInternal   = supervise.KindInternal
+	KindCausality  = supervise.KindCausality
+	KindHang       = supervise.KindHang
+	KindPanic      = supervise.KindPanic
+	KindEventLimit = supervise.KindEventLimit
+)
 
 // Report is the engine-independent outcome of a run.
 type Report struct {
@@ -149,6 +220,9 @@ type Report struct {
 	// Metrics is the machine-readable run report (counters, histograms,
 	// gauges, globals) from the run's metrics registry.
 	Metrics *metrics.Report
+	// Supervision, when the run was supervised, records recoveries and
+	// fallbacks.
+	Supervision *SupervisionReport
 }
 
 // SpeedupOver computes this run's modeled speedup over a sequential
@@ -164,19 +238,18 @@ func (r *Report) SpeedupOver(baseline *Report, m stats.CostModel) float64 {
 	return stats.Speedup(seqTime, r.Modeled)
 }
 
-// Simulate runs the selected engine on the circuit and stimulus.
-func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, opts Options) (*Report, error) {
-	if opts.LPs <= 0 {
-		opts.LPs = 4
-	}
-	if opts.System == 0 {
-		opts.System = logic.NineValued
-	}
-	if opts.Cost == (stats.CostModel{}) {
-		opts.Cost = stats.DefaultCostModel()
-	}
-	if opts.IntraWorkers <= 0 {
-		opts.IntraWorkers = 2
+// simulateOnce runs the selected engine exactly once. hangTimeout arms the
+// asynchronous engines' progress watchdog; zero leaves it off. A panic on
+// the calling goroutine (the serial engines run there) is recovered into a
+// structured SimError, completing panic isolation for every engine.
+func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, opts Options, hangTimeout time.Duration) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, supervise.FromPanic(opts.Engine.String(), -1, "run", 0, r)
+		}
+	}()
+	if opts.Restore != nil && opts.Engine == EngineOblivious {
+		return nil, fmt.Errorf("core: the oblivious engine is cycle-based and cannot resume from an event checkpoint")
 	}
 	sink := opts.Metrics
 	if sink == nil {
@@ -199,12 +272,12 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 		}
 	}
 
-	rep := &Report{Engine: opts.Engine, Processors: opts.LPs}
+	rep = &Report{Engine: opts.Engine, Processors: opts.LPs}
 	switch opts.Engine {
 	case EngineSeq:
 		res, err := seq.Run(c, stim, until, seq.Config{
 			System: opts.System, Queue: opts.Queue, Watch: opts.Watch, MaxEvents: opts.MaxEvents,
-			Metrics: sink, Tracer: opts.Tracer,
+			Metrics: sink, Tracer: opts.Tracer, Boot: opts.Restore,
 		})
 		if err != nil {
 			return nil, err
@@ -230,7 +303,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 		res, err := sync.Run(c, stim, until, sync.Config{
 			Partition: part, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, Cost: opts.Cost, MaxEvents: opts.MaxEvents,
-			Metrics: sink, Tracer: opts.Tracer,
+			Metrics: sink, Tracer: opts.Tracer, Boot: opts.Restore,
 		})
 		if err != nil {
 			return nil, err
@@ -250,6 +323,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			Partition: part, Mode: mode, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
+			HangTimeout: hangTimeout, Boot: opts.Restore,
 		})
 		if err != nil {
 			return nil, err
@@ -267,6 +341,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			Window: opts.Window, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
+			HangTimeout: hangTimeout, HistoryLimit: opts.HistoryLimit, Boot: opts.Restore,
 		})
 		if err != nil {
 			return nil, err
@@ -281,6 +356,7 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			Window: opts.Window, System: opts.System, Cost: opts.Cost,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
+			HangTimeout: hangTimeout, HistoryLimit: opts.HistoryLimit, Boot: opts.Restore,
 		})
 		if err != nil {
 			return nil, err

@@ -1,9 +1,6 @@
 package eventq
 
-import (
-	"fmt"
-	"sort"
-)
+import "sort"
 
 // Calendar is R. Brown's calendar queue: an array of day-buckets spanning a
 // repeating year. With a bucket width tuned to the inter-event gap it gives
@@ -18,6 +15,7 @@ type Calendar[T any] struct {
 	bucketTop uint64 // upper time bound of the current bucket's current year
 	// resize thresholds
 	growAt, shrinkAt int
+	err              error
 }
 
 // NewCalendar returns an empty calendar queue with default geometry.
@@ -66,7 +64,8 @@ func (c *Calendar[T]) insert(it item[T]) {
 // the search invariant that nothing is pending before the cursor.
 func (c *Calendar[T]) Push(time uint64, v T) {
 	if time < c.lastPop {
-		panic(fmt.Sprintf("eventq: push at %d before last pop %d", time, c.lastPop))
+		c.err = pushFault(c.err, time, c.lastPop)
+		return
 	}
 	if time < c.bucketTop-c.width {
 		c.curBucket = int((time / c.width) % uint64(len(c.buckets)))
@@ -139,6 +138,9 @@ func (c *Calendar[T]) ResetFloor() {
 		c.bucketTop = (min/c.width)*c.width + c.width
 	}
 }
+
+// Err returns the latched push violation, if any.
+func (c *Calendar[T]) Err() error { return c.err }
 
 // globalMin scans every bucket head for the smallest time.
 func (c *Calendar[T]) globalMin() (uint64, bool) {

@@ -18,7 +18,11 @@ import "fmt"
 // Queue is a pending-event set holding values of type T keyed by time.
 type Queue[T any] interface {
 	// Push inserts an event. Pushing a time earlier than the last popped
-	// time panics: scheduling into the past is always an engine bug.
+	// time is always an engine bug (scheduling into the past); the event
+	// is dropped and the violation is latched as a sentinel error on Err,
+	// which engines surface as a causality failure at the next check.
+	// Under the eventqdebug build tag the push panics instead, preserving
+	// the crashing stack for queue-level debugging.
 	Push(time uint64, v T)
 	// PopMin removes and returns an event with the minimum time.
 	// ok is false when the queue is empty.
@@ -34,6 +38,10 @@ type Queue[T any] interface {
 	// than previously popped events. Time Warp rollback requeues past
 	// events and needs this; the other engines never call it.
 	ResetFloor()
+	// Err returns the first push-into-the-past violation, or nil. The
+	// error is sticky: once set, the queue has dropped an event and its
+	// contents are no longer trustworthy, so the run must abort.
+	Err() error
 }
 
 // Impl names a queue implementation for configuration and reporting.
@@ -94,6 +102,7 @@ type item[T any] struct {
 type Heap[T any] struct {
 	items   []item[T]
 	lastPop uint64
+	err     error
 }
 
 // NewHeap returns an empty heap queue.
@@ -105,11 +114,15 @@ func (h *Heap[T]) Len() int { return len(h.items) }
 // Push inserts an event.
 func (h *Heap[T]) Push(time uint64, v T) {
 	if time < h.lastPop {
-		panic(fmt.Sprintf("eventq: push at %d before last pop %d", time, h.lastPop))
+		h.err = pushFault(h.err, time, h.lastPop)
+		return
 	}
 	h.items = append(h.items, item[T]{time, v})
 	h.up(len(h.items) - 1)
 }
+
+// Err returns the latched push violation, if any.
+func (h *Heap[T]) Err() error { return h.err }
 
 // PeekTime returns the minimum pending time.
 func (h *Heap[T]) PeekTime() (uint64, bool) {

@@ -104,22 +104,6 @@ func TestAscendingOrder(t *testing.T) {
 	}
 }
 
-func TestPushPastPanics(t *testing.T) {
-	for _, im := range impls {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: pushing into the past did not panic", im.name)
-				}
-			}()
-			q := im.mk()
-			q.Push(10, 0)
-			q.PopMin()
-			q.Push(5, 1)
-		}()
-	}
-}
-
 func TestPushEqualToLastPop(t *testing.T) {
 	// Scheduling at exactly the current time is legal (same-timestep
 	// events from sibling gates).

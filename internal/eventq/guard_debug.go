@@ -1,0 +1,13 @@
+//go:build eventqdebug
+
+package eventq
+
+import "fmt"
+
+// pushFault handles a push-into-the-past violation in debug builds
+// (-tags eventqdebug): panic at the push site so the crashing stack
+// identifies the scheduling bug directly, instead of deferring to the
+// engine's next Err poll.
+func pushFault(prev error, time, lastPop uint64) error {
+	panic(fmt.Sprintf("eventq: push at %d before last pop %d", time, lastPop))
+}

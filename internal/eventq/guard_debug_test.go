@@ -1,0 +1,24 @@
+//go:build eventqdebug
+
+package eventq
+
+import "testing"
+
+// TestPushPastPanicsDebug: under the eventqdebug build tag the original
+// panic-at-push behaviour is preserved so the crashing stack points at
+// the scheduling bug.
+func TestPushPastPanicsDebug(t *testing.T) {
+	for _, im := range impls {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: pushing into the past did not panic", im.name)
+				}
+			}()
+			q := im.mk()
+			q.Push(10, 0)
+			q.PopMin()
+			q.Push(5, 1)
+		}()
+	}
+}

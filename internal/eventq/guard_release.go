@@ -1,0 +1,16 @@
+//go:build !eventqdebug
+
+package eventq
+
+import "fmt"
+
+// pushFault handles a push-into-the-past violation in release builds:
+// the first violation is latched as a sentinel error (later ones keep
+// the first, which is the root cause) and the event is dropped. Engines
+// poll Queue.Err and abort the run as a causality failure.
+func pushFault(prev error, time, lastPop uint64) error {
+	if prev != nil {
+		return prev
+	}
+	return fmt.Errorf("eventq: push at %d before last pop %d", time, lastPop)
+}

@@ -1,0 +1,34 @@
+//go:build !eventqdebug
+
+package eventq
+
+import "testing"
+
+// TestPushPastLatchesError: pushing into the past is an engine bug; in
+// release builds the event is dropped and the violation latches on Err
+// (under -tags eventqdebug it panics instead, covered by
+// TestPushPastPanicsDebug in guard_debug_test.go).
+func TestPushPastLatchesError(t *testing.T) {
+	for _, im := range impls {
+		q := im.mk()
+		if q.Err() != nil {
+			t.Errorf("%s: fresh queue has Err", im.name)
+		}
+		q.Push(10, 0)
+		q.PopMin()
+		q.Push(5, 1)
+		err := q.Err()
+		if err == nil {
+			t.Errorf("%s: pushing into the past did not latch an error", im.name)
+			continue
+		}
+		if q.Len() != 0 {
+			t.Errorf("%s: violating event was enqueued (Len=%d)", im.name, q.Len())
+		}
+		// The first violation is the sticky root cause.
+		q.Push(3, 2)
+		if q.Err() != err {
+			t.Errorf("%s: later violation replaced the first error", im.name)
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package eventq
 
-import "fmt"
-
 // Wheel is the classic logic-simulator timing wheel: an array of slots,
 // one tick wide each, covering the near future, with a heap holding the
 // overflow beyond the horizon. Gate delays in logic simulation are small
@@ -17,6 +15,7 @@ type Wheel[T any] struct {
 	overflow *Heap[T] // events at or beyond cur+W when pushed
 	started  bool     // whether cur has been initialized by a push/pop
 	lastPop  uint64
+	err      error
 }
 
 // NewWheel returns an empty timing wheel with the given number of
@@ -40,7 +39,8 @@ func (w *Wheel[T]) horizon() uint64 { return w.cur + uint64(len(w.slots)) }
 // Push inserts an event.
 func (w *Wheel[T]) Push(time uint64, v T) {
 	if time < w.lastPop {
-		panic(fmt.Sprintf("eventq: push at %d before last pop %d", time, w.lastPop))
+		w.err = pushFault(w.err, time, w.lastPop)
+		return
 	}
 	if !w.started {
 		w.cur = time
@@ -136,6 +136,15 @@ func (w *Wheel[T]) Peek() (uint64, T, bool) {
 func (w *Wheel[T]) ResetFloor() {
 	w.lastPop = 0
 	w.overflow.ResetFloor()
+}
+
+// Err returns the latched push violation from the wheel or its
+// overflow heap, if any.
+func (w *Wheel[T]) Err() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.overflow.Err()
 }
 
 // PopMin removes an event with the minimum time.

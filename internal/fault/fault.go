@@ -19,6 +19,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/sim/seq"
+	"repro/internal/sim/supervise"
 	"repro/internal/trace"
 	"repro/internal/vectors"
 )
@@ -147,24 +148,33 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, faults 
 	work := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range work {
-				fc, fstim, err := inject(c, stim, faults[i])
-				if err != nil {
-					verdicts[i] = verdict{idx: i, err: err}
-					continue
-				}
-				res, err := seq.Run(fc, fstim, until, seqCfg)
-				if err != nil {
-					verdicts[i] = verdict{idx: i, err: err}
-					continue
-				}
-				badSamples := sampleAt(res.Waveform, c.Outputs, strobes, init)
-				at, det := firstDivergence(strobes, goodSamples, badSamples)
-				verdicts[i] = verdict{idx: i, detected: det, at: at}
+				// Recover per item: a panic on one fault must not kill the
+				// worker (which would starve the feeder) or the campaign.
+				func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							verdicts[i] = verdict{idx: i, err: supervise.FromPanic("bitpar", w, "fault", 0, r)}
+						}
+					}()
+					fc, fstim, err := inject(c, stim, faults[i])
+					if err != nil {
+						verdicts[i] = verdict{idx: i, err: err}
+						return
+					}
+					res, err := seq.Run(fc, fstim, until, seqCfg)
+					if err != nil {
+						verdicts[i] = verdict{idx: i, err: err}
+						return
+					}
+					badSamples := sampleAt(res.Waveform, c.Outputs, strobes, init)
+					at, det := firstDivergence(strobes, goodSamples, badSamples)
+					verdicts[i] = verdict{idx: i, detected: det, at: at}
+				}(i)
 			}
-		}()
+		}(w)
 	}
 	for i := range faults {
 		work <- i

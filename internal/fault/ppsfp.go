@@ -7,6 +7,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/sim/bitpar"
+	"repro/internal/sim/supervise"
 )
 
 // GradeBitParallel grades stuck-at faults on a combinational circuit with
@@ -41,6 +42,18 @@ func GradeBitParallel(c *circuit.Circuit, patterns [][]bool, faults []Fault, wor
 
 	remaining := append([]Fault(nil), faults...)
 	firstPattern := make(map[Fault]int, len(faults))
+
+	// A panicking worker is recovered into the campaign's first error; the
+	// per-pass barrier (wg.Wait) always completes because Done is deferred.
+	var failMu gosync.Mutex
+	var failErr error
+	setFail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
 
 	goodOut := make([]uint64, len(c.Outputs))
 	for base := 0; base < len(patterns) && len(remaining) > 0; base += 64 {
@@ -78,6 +91,11 @@ func GradeBitParallel(c *circuit.Circuit, patterns [][]bool, faults []Fault, wor
 			wg.Add(1)
 			go func(w, lo, end int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						setFail(supervise.FromPanic("bitpar", w, "ppsfp", 0, r))
+					}
+				}()
 				var hits []hit
 				s := sims[w]
 				for fi := lo; fi < end; fi++ {
@@ -98,6 +116,12 @@ func GradeBitParallel(c *circuit.Circuit, patterns [][]bool, faults []Fault, wor
 		}
 		wg.Wait()
 		close(hitsCh)
+		failMu.Lock()
+		ferr := failErr
+		failMu.Unlock()
+		if ferr != nil {
+			return nil, ferr
+		}
 
 		drop := map[int]int{}
 		for hits := range hitsCh {

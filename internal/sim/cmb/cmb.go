@@ -37,7 +37,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpsc"
 	"repro/internal/partition"
+	"repro/internal/sim/ckpt"
 	"repro/internal/sim/kernel"
+	"repro/internal/sim/supervise"
 	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -92,6 +94,15 @@ type Config struct {
 	// boundaries. Test harness use only; nil leaves the hot path on the
 	// raw mailboxes.
 	Chaos *inject.Hook
+	// HangTimeout, when positive, attaches a progress watchdog: if no LP
+	// advances (LVT, safe bound, or processed events) for this long, the
+	// run aborts with a supervise.SimError carrying a per-LP hang report.
+	HangTimeout time.Duration
+	// Boot, when non-nil, resumes from a checkpoint: LP state planes are
+	// seeded, pending events routed to their owners and ghosts, and the
+	// time-0 settling step skipped. Result.Waveform holds only samples
+	// after the boundary (callers prepend the checkpoint's prefix).
+	Boot *ckpt.State
 }
 
 // Result is the outcome of a conservative run.
@@ -225,6 +236,9 @@ type clp struct {
 	buf     []msg
 	evs     []kernel.Event
 	end     circuit.Tick
+	// slot is the watchdog scoreboard entry (nil-safe; nil without a
+	// watchdog).
+	slot *supervise.LPSlot
 }
 
 // Run simulates c under the stimulus until the given time (inclusive).
@@ -243,6 +257,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 	if cfg.System == 0 {
 		cfg.System = logic.NineValued
+	}
+	if cfg.Boot != nil {
+		if err := cfg.Boot.Check(c, cfg.System); err != nil {
+			return nil, err
+		}
 	}
 	sink := cfg.Metrics
 	if sink == nil {
@@ -361,6 +380,9 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		l.k.Record = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
 			l.rec.Record(t, g, v)
 		}
+		if cfg.Boot != nil {
+			l.k.SeedState(cfg.Boot.Vals, cfg.Boot.PrevClk, cfg.Boot.Projected)
+		}
 		lps[i] = l
 	}
 	for k2, d := range la {
@@ -395,41 +417,89 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		}
 		deliverOff[ii+1] = int32(len(deliverDst))
 	}
-	initCnt := make([]int, n)
-	for _, ch := range stim.Changes {
-		if ch.Time != 0 {
-			continue
+	if cfg.Boot == nil {
+		initCnt := make([]int, n)
+		for _, ch := range stim.Changes {
+			if ch.Time != 0 {
+				continue
+			}
+			ii := idxOf[ch.Input]
+			for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
+				initCnt[dst]++
+			}
 		}
-		ii := idxOf[ch.Input]
-		for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
-			initCnt[dst]++
+		for dst, cnt := range initCnt {
+			if cnt > 0 {
+				initial[dst] = make([]kernel.Event, 0, cnt)
+			}
 		}
-	}
-	for dst, cnt := range initCnt {
-		if cnt > 0 {
-			initial[dst] = make([]kernel.Event, 0, cnt)
+		for _, ch := range stim.Changes {
+			if ch.Time > until {
+				continue
+			}
+			ev := kernel.Event{Gate: ch.Input, Value: cfg.System.Project(ch.Value)}
+			ii := idxOf[ch.Input]
+			for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
+				if ch.Time == 0 {
+					initial[dst] = append(initial[dst], ev)
+				} else {
+					lps[dst].q.Push(uint64(ch.Time), ev)
+				}
+			}
 		}
-	}
-	for _, ch := range stim.Changes {
-		if ch.Time > until {
-			continue
-		}
-		ev := kernel.Event{Gate: ch.Input, Value: cfg.System.Project(ch.Value)}
-		ii := idxOf[ch.Input]
-		for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
-			if ch.Time == 0 {
-				initial[dst] = append(initial[dst], ev)
-			} else {
-				lps[dst].q.Push(uint64(ch.Time), ev)
+	} else {
+		// Restore: requeue the checkpoint's pending events instead of the
+		// stimulus. Every event goes to its gate's owner and to every LP
+		// owning a consumer (the same ghost-update rule as stimulus
+		// routing); all times are strictly after the boundary, so nothing
+		// lands in the settle step.
+		for _, ev := range cfg.Boot.Events {
+			kev := kernel.Event{Gate: ev.Gate, Value: ev.Value}
+			seen[owner[ev.Gate]] = true
+			lps[owner[ev.Gate]].q.Push(ev.Time, kev)
+			for _, fo := range c.Fanout[ev.Gate] {
+				if b := owner[fo]; !seen[b] {
+					seen[b] = true
+					lps[b].q.Push(ev.Time, kev)
+				}
+			}
+			seen[owner[ev.Gate]] = false
+			for _, fo := range c.Fanout[ev.Gate] {
+				seen[owner[fo]] = false
 			}
 		}
 	}
+
+	// Progress watchdog: a scoreboard the LPs publish to plus a monitor
+	// goroutine that fails the run with a hang report when nothing moves.
+	var board *supervise.Board
+	if cfg.HangTimeout > 0 {
+		board = supervise.NewBoard(n)
+		for i, l := range lps {
+			l.slot = board.LP(i)
+		}
+	}
+	wd := supervise.Watch(supervise.WatchConfig{
+		Engine: "cmb", Timeout: cfg.HangTimeout, Board: board,
+		QueueDepth: func(i int) int { return sh.inboxes[i].Len() },
+		OnHang:     sh.fail,
+	})
+	defer wd.Stop()
 
 	var wg gosync.WaitGroup
 	for _, l := range lps {
 		wg.Add(1)
 		go func(l *clp) {
 			defer wg.Done()
+			// Panic isolation: one poisoned LP fails the run cleanly (the
+			// abort wakes and drains every sibling) instead of crashing the
+			// process.
+			defer func() {
+				if r := recover(); r != nil {
+					l.slot.SetPhase(supervise.PhaseDone)
+					l.sh.fail(supervise.FromPanic("cmb", l.id, "run", l.lvt, r))
+				}
+			}()
 			metrics.Do(sink, "cmb", l.id, "run", func() {
 				l.run(initial[l.id])
 			})
@@ -438,10 +508,17 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	var coordErr error
 	if cfg.Mode == DeadlockRecovery {
 		metrics.Do(sink, "cmb", -1, "coordinate", func() {
+			defer func() {
+				if r := recover(); r != nil {
+					coordErr = supervise.FromPanic("cmb", -1, "coordinate", 0, r)
+					sh.abortAll()
+				}
+			}()
 			coordErr = coordinate(sh, lps)
 		})
 	}
 	wg.Wait()
+	wd.Stop()
 
 	if sh.abort.Load() {
 		sh.failMu.Lock()
@@ -453,7 +530,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		if coordErr != nil {
 			return nil, coordErr
 		}
-		return nil, fmt.Errorf("cmb: event limit %d exceeded", cfg.MaxEvents)
+		return nil, &supervise.SimError{
+			Engine: "cmb", LP: -1, Phase: "run", Kind: supervise.KindEventLimit,
+			Cause: fmt.Errorf("event limit %d exceeded", cfg.MaxEvents),
+		}
 	}
 
 	res := &Result{Values: make([]logic.Value, len(c.Gates))}
@@ -574,8 +654,12 @@ func (l *clp) handle(m msg) bool {
 		l.sh.transit.Add(-1)
 		l.st.MessagesRecv++
 		if m.time < l.lvt {
-			l.sh.fail(fmt.Errorf("cmb: causality violation: lp %d received value for t=%d from lp %d after processing t=%d",
-				l.id, m.time, m.from, l.lvt))
+			l.sh.fail(&supervise.SimError{
+				Engine: "cmb", LP: l.id, Phase: "handle", ModeledTime: l.lvt,
+				Kind: supervise.KindCausality,
+				Cause: fmt.Errorf("causality violation: lp %d received value for t=%d from lp %d after processing t=%d",
+					l.id, m.time, m.from, l.lvt),
+			})
 			return false
 		}
 		l.q.Push(uint64(m.time), kernel.Event{Gate: m.gate, Value: m.value})
@@ -601,12 +685,17 @@ func (l *clp) handle(m msg) bool {
 func (l *clp) run(initialEvents []kernel.Event) {
 	detect := l.sh.cfg.Mode == DeadlockRecovery
 	demand := l.sh.cfg.Mode == NullDemand
+	l.slot.SetPhase(supervise.PhaseRun)
+	defer l.slot.SetPhase(supervise.PhaseDone)
 
-	// Time-zero settling step.
-	begin := l.trsh.Now()
-	l.k.Step(0, initialEvents, true, nil, &l.st.LPCounters)
-	l.st.Hist(metrics.HistStepEvents).Observe(uint64(len(initialEvents)))
-	l.trsh.Span(trace.PhaseEvaluate, begin, 0)
+	if l.sh.cfg.Boot == nil {
+		// Time-zero settling step (skipped on restore: the checkpoint's
+		// state is already settled).
+		begin := l.trsh.Now()
+		l.k.Step(0, initialEvents, true, nil, &l.st.LPCounters)
+		l.st.Hist(metrics.HistStepEvents).Observe(uint64(len(initialEvents)))
+		l.trsh.Span(trace.PhaseEvaluate, begin, 0)
+	}
 	l.end = 0
 	if !detect {
 		l.sendPromises(false)
@@ -645,12 +734,23 @@ func (l *clp) run(initialEvents []kernel.Event) {
 					return
 				}
 			}
+			// Publish progress before the step so a single long evaluation
+			// is not mistaken for a hang.
+			l.slot.AddEvents(uint64(len(l.evs)))
 			begin := l.trsh.Now()
 			l.k.Step(t, l.evs, false, nil, &l.st.LPCounters)
 			l.st.Hist(metrics.HistStepEvents).Observe(uint64(len(l.evs)))
 			l.trsh.Span(trace.PhaseEvaluate, begin, t)
 			l.lvt = t
 			l.end = t
+			l.slot.SetLVT(uint64(t))
+		}
+		if err := l.q.Err(); err != nil {
+			l.sh.fail(&supervise.SimError{
+				Engine: "cmb", LP: l.id, Phase: "eventq", ModeledTime: l.lvt,
+				Kind: supervise.KindCausality, Cause: err,
+			})
+			return
 		}
 		l.sh.cfg.Chaos.Stall(l.id, inject.PhaseEvaluate)
 		if !detect {
@@ -685,6 +785,9 @@ func (l *clp) run(initialEvents []kernel.Event) {
 		l.flushSends()
 		l.sh.cfg.Chaos.Stall(l.id, inject.PhaseBlock)
 		l.st.Blocks++
+		l.slot.SetNext(uint64(l.nextLocal()))
+		l.slot.SetBound(uint64(l.safeTime()))
+		l.slot.SetPhase(supervise.PhaseBlock)
 		blockBegin := l.trsh.Now()
 		var ok bool
 		if detect {
@@ -703,6 +806,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
 		}
 		l.trsh.Span(trace.PhaseBlock, blockBegin, trace.NoTick)
+		l.slot.SetPhase(supervise.PhaseRun)
 		if !ok {
 			return
 		}
@@ -718,9 +822,13 @@ func (l *clp) run(initialEvents []kernel.Event) {
 	}
 }
 
-// abortAll flags a global abort and wakes every LP.
+// abortAll flags a global abort and wakes every LP. Releasing the chaos
+// hook's hang fault here guarantees an injected permanent stall cannot
+// outlive the abort: the watchdog fires, fail() lands here, and the
+// parked LP goroutine is unblocked so wg.Wait always returns.
 func (sh *shared) abortAll() {
 	sh.abort.Store(true)
+	sh.cfg.Chaos.Release()
 	for _, ib := range sh.inboxes {
 		ib.Poke()
 	}

@@ -16,11 +16,13 @@ package hybrid
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/sim/ckpt"
 	"repro/internal/sim/timewarp"
 	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
@@ -56,6 +58,11 @@ type Config struct {
 	// Chaos is forwarded to the inter-cluster optimistic protocol's
 	// transport layer. Test harness use only.
 	Chaos *inject.Hook
+	// HangTimeout, HistoryLimit and Boot are forwarded to the
+	// inter-cluster optimistic protocol; see timewarp.Config.
+	HangTimeout  time.Duration
+	HistoryLimit uint64
+	Boot         *ckpt.State
 }
 
 // Result is the outcome of a hybrid run.
@@ -102,6 +109,9 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		Metrics:      sink,
 		Tracer:       cfg.Tracer,
 		Chaos:        cfg.Chaos,
+		HangTimeout:  cfg.HangTimeout,
+		HistoryLimit: cfg.HistoryLimit,
+		Boot:         cfg.Boot,
 	})
 	if err != nil {
 		return nil, err

@@ -130,6 +130,17 @@ func (lp *LP) Value(g circuit.GateID) logic.Value { return lp.val[g] }
 // Values exposes the full ghost state (for final-state assembly).
 func (lp *LP) Values() []logic.Value { return lp.val }
 
+// SeedState overwrites the LP's three value planes from a checkpoint.
+// The planes are full-size (ghost copies included), so seeding every LP
+// with the same globally consistent snapshot reproduces exactly the
+// ghost views a live run would have at that boundary. Engines call it
+// before processing any event when restoring.
+func (lp *LP) SeedState(vals, prevClk, projected []logic.Value) {
+	copy(lp.val, vals)
+	copy(lp.prevClk, prevClk)
+	copy(lp.projected, projected)
+}
+
 // Step applies the events for time t, then evaluates affected owned gates.
 // When undo is non-nil every state write is logged into it. Counters are
 // accumulated into st.

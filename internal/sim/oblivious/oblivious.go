@@ -30,6 +30,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/metrics"
+	"repro/internal/sim/supervise"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -157,6 +158,19 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 	}
 	scratches := make([][]logic.Value, cfg.Workers)
 
+	// A panicking worker is recovered into the run's first error so the
+	// level barrier always completes; the coordinator surfaces it at the
+	// next boundary.
+	var failMu gosync.Mutex
+	var failErr error
+	setFail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+
 	// runLevel evaluates a level (in parallel when configured) and commits.
 	runLevel := func(t circuit.Tick, gates []circuit.GateID) {
 		if cfg.Workers == 1 || len(gates) < 2*cfg.Workers {
@@ -176,6 +190,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 				wg.Add(1)
 				go func(w, lo, hi int) {
 					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							setFail(supervise.FromPanic("oblivious", w, "eval", t, r))
+						}
+					}()
 					metrics.Do(sink, "oblivious", w, "eval", func() {
 						evalSlice(w, t, gates[lo:hi], &scratches[w])
 					})
@@ -197,6 +216,12 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 	}
 
 	for _, b := range bounds {
+		failMu.Lock()
+		err := failErr
+		failMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		res.Cycles++
 		blocks[0].Steps++
 		for _, ch := range b.changes {
@@ -213,6 +238,13 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, cfg Config) (*Result, error
 		for _, g := range watched {
 			rec.Record(b.t, g, val[g])
 		}
+	}
+
+	failMu.Lock()
+	ferr := failErr
+	failMu.Unlock()
+	if ferr != nil {
+		return nil, ferr
 	}
 
 	// Deduplicate the sampled waveform into genuine changes.

@@ -27,6 +27,8 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/logic"
 	"repro/internal/metrics"
+	"repro/internal/sim/ckpt"
+	"repro/internal/sim/supervise"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -61,6 +63,25 @@ type Config struct {
 	Metrics metrics.Sink
 	// Tracer, when non-nil, records one evaluate span per timestep.
 	Tracer *trace.Tracer
+
+	// CheckpointEvery, with Checkpoint set, captures a consistent
+	// snapshot at every multiple of this modeled-time interval: the
+	// snapshot at boundary B is taken once the next pending event is
+	// strictly later than B, so state reflects every event <= B and the
+	// pending set is strictly later. Sequential execution is this
+	// repository's definition of the trajectory (every engine must match
+	// its waveform), which is what makes these snapshots consistent cuts
+	// for any engine to restore.
+	CheckpointEvery circuit.Tick
+	// Checkpoint receives each captured snapshot; a non-nil error aborts
+	// the run.
+	Checkpoint func(*ckpt.State) error
+	// Boot, when non-nil, resumes from a snapshot instead of the
+	// stimulus: value planes are seeded, pending events requeued, and the
+	// time-0 settling pass skipped. Result.Waveform then holds only the
+	// samples recorded after the boundary (callers prepend Boot's
+	// prefix).
+	Boot *ckpt.State
 }
 
 // Result is the outcome of a run.
@@ -126,12 +147,24 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 
 	q := eventq.New[event](cfg.Queue)
-	for _, ch := range stim.Changes {
-		if ch.Time > until {
-			continue
+	if cfg.Boot != nil {
+		if err := cfg.Boot.Check(c, cfg.System); err != nil {
+			return nil, err
 		}
-		q.Push(uint64(ch.Time), event{gate: ch.Input, value: cfg.System.Project(ch.Value)})
-		projected[ch.Input] = cfg.System.Project(ch.Value)
+		copy(val, cfg.Boot.Vals)
+		copy(prevClk, cfg.Boot.PrevClk)
+		copy(projected, cfg.Boot.Projected)
+		for _, ev := range cfg.Boot.Events {
+			q.Push(ev.Time, event{gate: ev.Gate, value: ev.Value})
+		}
+	} else {
+		for _, ch := range stim.Changes {
+			if ch.Time > until {
+				continue
+			}
+			q.Push(uint64(ch.Time), event{gate: ch.Input, value: cfg.System.Project(ch.Value)})
+			projected[ch.Input] = cfg.System.Project(ch.Value)
+		}
 	}
 
 	res := &Result{}
@@ -178,7 +211,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			_, ev, _ := q.PopMin()
 			totalEvents++
 			if cfg.MaxEvents > 0 && totalEvents > cfg.MaxEvents {
-				return fmt.Errorf("seq: event limit %d exceeded at time %d (oscillation?)", cfg.MaxEvents, t)
+				return &supervise.SimError{
+					Engine: "seq", LP: 0, Phase: "evaluate", ModeledTime: t,
+					Kind:  supervise.KindEventLimit,
+					Cause: fmt.Errorf("event limit %d exceeded at time %d (oscillation?)", cfg.MaxEvents, t),
+				}
 			}
 			if val[ev.gate] == ev.value {
 				continue
@@ -244,10 +281,62 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		return nil
 	}
 
+	// Checkpoint capture: nextCk is the next boundary to snapshot; it is
+	// captured the moment the next pending event is strictly later.
+	var nextCk circuit.Tick
+	if cfg.CheckpointEvery > 0 && cfg.Checkpoint != nil {
+		nextCk = cfg.CheckpointEvery
+		if cfg.Boot != nil {
+			nextCk = (circuit.Tick(cfg.Boot.Time)/cfg.CheckpointEvery + 1) * cfg.CheckpointEvery
+		}
+	}
+	var fp string
+	capture := func(b circuit.Tick) error {
+		if fp == "" {
+			fp = ckpt.Fingerprint(c)
+		}
+		st := &ckpt.State{
+			Version: ckpt.Version, Fingerprint: fp,
+			Time: uint64(b), Until: uint64(until), System: uint8(cfg.System),
+			EndTime:   uint64(endTime),
+			Vals:      append([]logic.Value(nil), val...),
+			PrevClk:   append([]logic.Value(nil), prevClk...),
+			Projected: append([]logic.Value(nil), projected...),
+		}
+		st.Waveform = ckpt.FromWaveform(trace.Merge(&rec))
+		if cfg.Boot != nil {
+			st.Waveform = append(append([]ckpt.Sample(nil), cfg.Boot.Waveform...), st.Waveform...)
+			if cfg.Boot.EndTime > st.EndTime {
+				st.EndTime = cfg.Boot.EndTime
+			}
+		}
+		// Snapshot the pending set by draining and requeuing; ResetFloor
+		// lets the ascending repush start below the drain's last pop.
+		tmp := make([]event, 0, q.Len())
+		times := make([]uint64, 0, q.Len())
+		for {
+			t64, ev, ok := q.PopMin()
+			if !ok {
+				break
+			}
+			times = append(times, t64)
+			tmp = append(tmp, ev)
+		}
+		q.ResetFloor()
+		st.Events = make([]ckpt.Event, len(tmp))
+		for i, ev := range tmp {
+			st.Events[i] = ckpt.Event{Time: times[i], Gate: ev.gate, Value: ev.value}
+			q.Push(times[i], ev)
+		}
+		return cfg.Checkpoint(st)
+	}
+
 	var runErr error
 	metrics.Do(sink, "seq", 0, "run", func() {
-		if runErr = step(0, true); runErr != nil {
-			return
+		if cfg.Boot == nil {
+			if runErr = step(0, true); runErr != nil {
+				return
+			}
 		}
 		for q.Len() > 0 {
 			t64, _ := q.PeekTime()
@@ -255,7 +344,20 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			if t > until {
 				break
 			}
+			for nextCk > 0 && t > nextCk && nextCk <= until {
+				if runErr = capture(nextCk); runErr != nil {
+					return
+				}
+				nextCk += cfg.CheckpointEvery
+			}
 			if runErr = step(t, false); runErr != nil {
+				return
+			}
+			if err := q.Err(); err != nil {
+				runErr = &supervise.SimError{
+					Engine: "seq", LP: 0, Phase: "eventq", ModeledTime: t,
+					Kind: supervise.KindCausality, Cause: err,
+				}
 				return
 			}
 		}

@@ -1,0 +1,118 @@
+// Package supervise is the fault-isolation layer shared by every
+// simulation engine: a structured SimError classifying how a run died
+// (panic, hang, causality violation, event limit), a panic-capture
+// helper for per-LP goroutines, and a progress watchdog that turns a
+// wedged run into a machine-readable hang report instead of an
+// indefinite block.
+//
+// Like package inject, it deliberately sits below the engines in the
+// import graph (it imports only internal/circuit and the standard
+// library), so engines can report through it without a cycle: engines
+// import supervise, core imports the engines and re-exports SimError.
+package supervise
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/circuit"
+)
+
+// Kind classifies a simulation failure. The parsim CLI maps kinds to
+// process exit codes, so the set is part of the tool's interface.
+type Kind uint8
+
+// The failure classes.
+const (
+	// KindInternal is an unclassified engine failure.
+	KindInternal Kind = iota
+	// KindCausality is a protocol violation: an event or message arrived
+	// in an LP's past (straggler below GVT, value below LVT, or an
+	// eventq push below its floor).
+	KindCausality
+	// KindHang is a watchdog verdict: no LP made progress for the
+	// configured deadline. The Cause is a *HangReport.
+	KindHang
+	// KindPanic is a recovered per-LP (or coordinator) panic.
+	KindPanic
+	// KindEventLimit is the MaxEvents runaway guard tripping; it is
+	// deterministic for a given workload, so supervisors must not retry.
+	KindEventLimit
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInternal:
+		return "internal"
+	case KindCausality:
+		return "causality"
+	case KindHang:
+		return "hang"
+	case KindPanic:
+		return "panic"
+	case KindEventLimit:
+		return "event-limit"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// SimError is the structured failure every engine reports: which
+// engine, which LP (-1 when the failure is not attributable to one),
+// the execution phase, the modeled time the LP had reached, the failure
+// class, and the underlying cause.
+type SimError struct {
+	Engine      string
+	LP          int
+	Phase       string
+	ModeledTime circuit.Tick
+	Kind        Kind
+	Cause       error
+}
+
+// Error renders the failure with its classification up front.
+func (e *SimError) Error() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s: %s", e.Engine, e.Kind)
+	if e.LP >= 0 {
+		fmt.Fprintf(&b, " at lp %d", e.LP)
+	}
+	if e.Phase != "" {
+		fmt.Fprintf(&b, " in %s", e.Phase)
+	}
+	fmt.Fprintf(&b, " (t=%d)", e.ModeledTime)
+	if e.Cause != nil {
+		fmt.Fprintf(&b, ": %v", e.Cause)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *SimError) Unwrap() error { return e.Cause }
+
+// FromPanic converts a recovered panic value into a SimError carrying a
+// trimmed stack trace. Engines call it from the deferred recover at the
+// top of each LP goroutine.
+func FromPanic(engine string, lp int, phase string, t circuit.Tick, r any) *SimError {
+	return &SimError{
+		Engine: engine, LP: lp, Phase: phase, ModeledTime: t, Kind: KindPanic,
+		Cause: fmt.Errorf("panic: %v\n%s", r, trimStack(debug.Stack())),
+	}
+}
+
+// trimStack keeps the head of a debug.Stack dump: the goroutine line
+// and the innermost frames, which is where the panic site is.
+func trimStack(stack []byte) []byte {
+	const maxLines = 16
+	n := 0
+	for i, b := range stack {
+		if b == '\n' {
+			n++
+			if n == maxLines {
+				return append(bytes.TrimRight(stack[:i], "\n"), []byte("\n\t...")...)
+			}
+		}
+	}
+	return bytes.TrimRight(stack, "\n")
+}

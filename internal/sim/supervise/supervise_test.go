@@ -1,0 +1,162 @@
+package supervise
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSimErrorRendering(t *testing.T) {
+	cause := errors.New("boom")
+	err := &SimError{Engine: "cmb", LP: 3, Phase: "handle", ModeledTime: 42, Kind: KindCausality, Cause: cause}
+	msg := err.Error()
+	for _, want := range []string{"cmb", "causality", "lp 3", "handle", "t=42", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(err, cause) {
+		t.Error("Unwrap does not reach the cause")
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Kind != KindCausality {
+		t.Error("errors.As failed to recover the SimError")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindInternal:   "internal",
+		KindCausality:  "causality",
+		KindHang:       "hang",
+		KindPanic:      "panic",
+		KindEventLimit: "event-limit",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestFromPanicCarriesStack(t *testing.T) {
+	var err *SimError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = FromPanic("timewarp", 2, "run", 7, r)
+			}
+		}()
+		panic("injected")
+	}()
+	if err == nil {
+		t.Fatal("no error produced")
+	}
+	if err.Kind != KindPanic || err.LP != 2 || err.ModeledTime != 7 {
+		t.Errorf("wrong classification: %+v", err)
+	}
+	if !strings.Contains(err.Error(), "injected") {
+		t.Errorf("panic value lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("stack trace lost: %v", err)
+	}
+}
+
+func TestNilSlotAndBoardAreSafe(t *testing.T) {
+	var s *LPSlot
+	s.SetLVT(1)
+	s.SetNext(2)
+	s.SetBound(3)
+	s.AddEvents(4)
+	s.SetPhase(PhaseRun)
+	var b *Board
+	if b.LP(0) != nil {
+		t.Error("nil board handed out a non-nil slot")
+	}
+	var w *Watchdog
+	w.Stop() // must not panic
+}
+
+func TestWatchDisabled(t *testing.T) {
+	if Watch(WatchConfig{}) != nil {
+		t.Error("zero config should disable the watchdog")
+	}
+	if Watch(WatchConfig{Timeout: time.Second}) != nil {
+		t.Error("missing board/hook should disable the watchdog")
+	}
+}
+
+func TestWatchdogFiresOnNoProgress(t *testing.T) {
+	b := NewBoard(2)
+	b.LP(0).SetLVT(10)
+	b.LP(1).SetLVT(5)
+	b.LP(1).SetPhase(PhaseBlock)
+	var got atomic.Value
+	wd := Watch(WatchConfig{
+		Engine:     "test",
+		Timeout:    30 * time.Millisecond,
+		Board:      b,
+		QueueDepth: func(lp int) int { return lp + 1 },
+		OnHang:     func(err error) { got.Store(err) },
+	})
+	defer wd.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	err, _ := got.Load().(error)
+	if err == nil {
+		t.Fatal("watchdog did not fire")
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Kind != KindHang {
+		t.Fatalf("expected a KindHang SimError, got %v", err)
+	}
+	if se.ModeledTime != 5 {
+		t.Errorf("ModeledTime = %d, want the minimum LVT 5", se.ModeledTime)
+	}
+	var hr *HangReport
+	if !errors.As(err, &hr) {
+		t.Fatalf("cause is not a HangReport: %v", se.Cause)
+	}
+	// The report must be machine-readable: its JSON body parses back.
+	msg := hr.Error()
+	idx := strings.Index(msg, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON body in %q", msg)
+	}
+	var decoded HangReport
+	if err := json.Unmarshal([]byte(msg[idx:]), &decoded); err != nil {
+		t.Fatalf("report body does not parse: %v", err)
+	}
+	if len(decoded.LPs) != 2 || decoded.Engine != "test" {
+		t.Errorf("decoded report wrong: %+v", decoded)
+	}
+	if decoded.LPs[1].Phase != "blocked" || decoded.LPs[1].LVT != 5 || decoded.LPs[1].MailboxDepth != 2 {
+		t.Errorf("per-LP detail wrong: %+v", decoded.LPs[1])
+	}
+}
+
+func TestWatchdogStaysQuietUnderProgress(t *testing.T) {
+	b := NewBoard(1)
+	var fired atomic.Bool
+	wd := Watch(WatchConfig{
+		Engine:  "test",
+		Timeout: 60 * time.Millisecond,
+		Board:   b,
+		OnHang:  func(error) { fired.Store(true) },
+	})
+	for i := 0; i < 20; i++ {
+		b.LP(0).AddEvents(1)
+		time.Sleep(10 * time.Millisecond)
+	}
+	wd.Stop()
+	wd.Stop() // idempotent
+	if fired.Load() {
+		t.Error("watchdog fired despite steady progress")
+	}
+}

@@ -1,0 +1,255 @@
+package supervise
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// PhaseID is the coarse LP state published to the watchdog scoreboard.
+type PhaseID uint32
+
+// The published phases.
+const (
+	PhaseInit PhaseID = iota
+	PhaseRun
+	PhaseBlock
+	PhaseBarrier
+	PhaseDone
+)
+
+// String names the phase.
+func (p PhaseID) String() string {
+	switch p {
+	case PhaseInit:
+		return "init"
+	case PhaseRun:
+		return "run"
+	case PhaseBlock:
+		return "blocked"
+	case PhaseBarrier:
+		return "barrier"
+	case PhaseDone:
+		return "done"
+	}
+	return fmt.Sprintf("PhaseID(%d)", uint32(p))
+}
+
+// LPSlot is one LP's atomic scoreboard entry. Engines publish local
+// virtual time, the next pending event time, the incoming channel bound
+// (safe time or GVT), the processed-event count, and the coarse phase;
+// the watchdog reads them racily but atomically. All methods are
+// nil-safe so engines can publish unconditionally whether or not a
+// watchdog is attached.
+type LPSlot struct {
+	lvt    atomic.Uint64
+	next   atomic.Uint64
+	bound  atomic.Uint64
+	events atomic.Uint64
+	phase  atomic.Uint32
+}
+
+// SetLVT publishes the LP's local virtual time.
+func (s *LPSlot) SetLVT(t uint64) {
+	if s != nil {
+		s.lvt.Store(t)
+	}
+}
+
+// SetNext publishes the LP's next pending event time.
+func (s *LPSlot) SetNext(t uint64) {
+	if s != nil {
+		s.next.Store(t)
+	}
+}
+
+// SetBound publishes the LP's incoming bound (CMB safe time, TW GVT).
+func (s *LPSlot) SetBound(t uint64) {
+	if s != nil {
+		s.bound.Store(t)
+	}
+}
+
+// AddEvents counts processed events (any monotone work measure).
+func (s *LPSlot) AddEvents(n uint64) {
+	if s != nil {
+		s.events.Add(n)
+	}
+}
+
+// SetPhase publishes the LP's coarse execution phase.
+func (s *LPSlot) SetPhase(p PhaseID) {
+	if s != nil {
+		s.phase.Store(uint32(p))
+	}
+}
+
+// Board is the per-run scoreboard: one LPSlot per LP. A nil *Board
+// hands out nil slots, so engines create it only when a watchdog is
+// requested.
+type Board struct {
+	slots []LPSlot
+}
+
+// NewBoard allocates a scoreboard for n LPs.
+func NewBoard(n int) *Board { return &Board{slots: make([]LPSlot, n)} }
+
+// LP returns the i-th slot (nil on a nil board).
+func (b *Board) LP(i int) *LPSlot {
+	if b == nil {
+		return nil
+	}
+	return &b.slots[i]
+}
+
+// progress folds every slot into one monotone progress measure: any
+// LVT advance, bound advance, or processed event changes the sum.
+func (b *Board) progress() uint64 {
+	var sum uint64
+	for i := range b.slots {
+		s := &b.slots[i]
+		sum += s.lvt.Load() + s.bound.Load() + s.events.Load()
+	}
+	return sum
+}
+
+// LPReport is one LP's state in a hang report.
+type LPReport struct {
+	LP           int    `json:"lp"`
+	Phase        string `json:"phase"`
+	LVT          uint64 `json:"lvt"`
+	NextEvent    uint64 `json:"next_event"`
+	Bound        uint64 `json:"bound"`
+	Events       uint64 `json:"events"`
+	MailboxDepth int    `json:"mailbox_depth"`
+}
+
+// HangReport is the machine-readable diagnostic the watchdog emits when
+// no LP makes progress for the deadline. It implements error and
+// renders as a one-line prefix followed by the JSON body, so both
+// humans and tools can consume it from stderr.
+type HangReport struct {
+	Engine       string     `json:"engine"`
+	NoProgressMs int64      `json:"no_progress_ms"`
+	LPs          []LPReport `json:"lps"`
+}
+
+// Error renders the report with the JSON body inline.
+func (r *HangReport) Error() string {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Sprintf("no progress for %dms (report marshal failed: %v)", r.NoProgressMs, err)
+	}
+	return fmt.Sprintf("no progress for %dms; hang report: %s", r.NoProgressMs, body)
+}
+
+// WatchConfig configures a progress watchdog.
+type WatchConfig struct {
+	// Engine names the watched engine in reports.
+	Engine string
+	// Timeout is the no-progress deadline; zero disables the watchdog
+	// (Watch returns nil).
+	Timeout time.Duration
+	// Board is the scoreboard the engine publishes to.
+	Board *Board
+	// QueueDepth probes an LP's mailbox depth for the report; may be nil.
+	QueueDepth func(lp int) int
+	// OnHang receives the *SimError (Kind KindHang, Cause *HangReport)
+	// when the deadline trips. It is called once, from the watchdog
+	// goroutine; engines pass their abort-everything fail hook.
+	OnHang func(error)
+}
+
+// Watchdog monitors a Board and fails the run when progress stops. The
+// zero deadline disables it; Stop is nil-safe and idempotent, so
+// engines can `defer wd.Stop()` unconditionally.
+type Watchdog struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Watch starts a watchdog goroutine, or returns nil when disabled.
+func Watch(cfg WatchConfig) *Watchdog {
+	if cfg.Timeout <= 0 || cfg.Board == nil || cfg.OnHang == nil {
+		return nil
+	}
+	w := &Watchdog{stop: make(chan struct{}), done: make(chan struct{})}
+	go w.run(cfg)
+	return w
+}
+
+// Stop terminates the watchdog and waits for its goroutine to exit.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+func (w *Watchdog) run(cfg WatchConfig) {
+	defer close(w.done)
+	poll := cfg.Timeout / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	last := cfg.Board.progress()
+	stuck := time.Duration(0)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		}
+		if cur := cfg.Board.progress(); cur != last {
+			last, stuck = cur, 0
+			continue
+		}
+		if stuck += poll; stuck < cfg.Timeout {
+			continue
+		}
+		rep := w.report(cfg, stuck)
+		minLVT := ^uint64(0)
+		for _, lp := range rep.LPs {
+			if lp.LVT < minLVT {
+				minLVT = lp.LVT
+			}
+		}
+		cfg.OnHang(&SimError{
+			Engine: cfg.Engine, LP: -1, Phase: "watchdog",
+			ModeledTime: circuit.Tick(minLVT), Kind: KindHang, Cause: rep,
+		})
+		return
+	}
+}
+
+// report snapshots the scoreboard into a HangReport.
+func (w *Watchdog) report(cfg WatchConfig, stuck time.Duration) *HangReport {
+	rep := &HangReport{Engine: cfg.Engine, NoProgressMs: stuck.Milliseconds()}
+	for i := range cfg.Board.slots {
+		s := &cfg.Board.slots[i]
+		lr := LPReport{
+			LP:        i,
+			Phase:     PhaseID(s.phase.Load()).String(),
+			LVT:       s.lvt.Load(),
+			NextEvent: s.next.Load(),
+			Bound:     s.bound.Load(),
+			Events:    s.events.Load(),
+		}
+		if cfg.QueueDepth != nil {
+			lr.MailboxDepth = cfg.QueueDepth(i)
+		}
+		rep.LPs = append(rep.LPs, lr)
+	}
+	return rep
+}

@@ -29,6 +29,8 @@ import (
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/sim/ckpt"
+	"repro/internal/sim/supervise"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vectors"
@@ -63,6 +65,13 @@ type Config struct {
 	// only the ownership map changes — but each moved gate is priced as a
 	// state-transfer message on both sides.
 	Rebalance RebalanceConfig
+	// Boot, when non-nil, resumes from a checkpoint instead of time zero:
+	// the shared state planes are seeded from the snapshot, pending events
+	// are reloaded from it, the stimulus is ignored (the checkpoint queue
+	// already holds every future stimulus change), and the time-zero
+	// settling step is skipped. The returned waveform covers only the
+	// resumed suffix.
+	Boot *ckpt.State
 }
 
 // RebalanceConfig parameterizes dynamic load balancing.
@@ -143,6 +152,14 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	val, prevClk := circuit.InitState(c, cfg.System)
 	projected := make([]logic.Value, len(val))
 	copy(projected, val)
+	if cfg.Boot != nil {
+		if err := cfg.Boot.Check(c, cfg.System); err != nil {
+			return nil, err
+		}
+		copy(val, cfg.Boot.Vals)
+		copy(prevClk, cfg.Boot.PrevClk)
+		copy(projected, cfg.Boot.Projected)
+	}
 
 	watched := cfg.Watch
 	if watched == nil {
@@ -183,11 +200,19 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 	globals := sink.Globals()
 	coord := cfg.Tracer.Shard("coordinator")
-	for _, ch := range stim.Changes {
-		if ch.Time > until {
-			continue
+	if cfg.Boot == nil {
+		for _, ch := range stim.Changes {
+			if ch.Time > until {
+				continue
+			}
+			lps[owner[ch.Input]].q.Push(uint64(ch.Time), event{ch.Input, cfg.System.Project(ch.Value)})
 		}
-		lps[owner[ch.Input]].q.Push(uint64(ch.Time), event{ch.Input, cfg.System.Project(ch.Value)})
+	} else {
+		// Checkpoint events go to the target's owner only: the engine
+		// shares one value plane, so there are no ghost copies to feed.
+		for _, ev := range cfg.Boot.Events {
+			lps[owner[ev.Gate]].q.Push(ev.Time, event{ev.Gate, ev.Value})
+		}
 	}
 
 	var epoch uint64
@@ -300,6 +325,23 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		t     circuit.Tick
 		phase int
 	}
+	// A panicking phase must still release the barrier (pw.Done in a
+	// defer) or the coordinator would block forever; the recovered panic
+	// is latched as the run's first failure and checked at each barrier.
+	var failMu gosync.Mutex
+	var failErr error
+	setFail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+	checkFail := func() error {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failErr
+	}
 	work := make([]chan phaseCmd, numLPs)
 	var pw gosync.WaitGroup
 	for _, l := range lps {
@@ -311,17 +353,24 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 				if cmd.phase != 0 {
 					name = "eval"
 				}
-				metrics.Do(sink, "sync", l.id, name, func() {
-					switch cmd.phase {
-					case 0:
-						phaseA(l, cmd.t)
-					case 1:
-						phaseB(l, cmd.t, false)
-					case 2:
-						phaseB(l, cmd.t, true)
-					}
-				})
-				pw.Done()
+				func() {
+					defer pw.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							setFail(supervise.FromPanic("sync", l.id, name, cmd.t, r))
+						}
+					}()
+					metrics.Do(sink, "sync", l.id, name, func() {
+						switch cmd.phase {
+						case 0:
+							phaseA(l, cmd.t)
+						case 1:
+							phaseB(l, cmd.t, false)
+						case 2:
+							phaseB(l, cmd.t, true)
+						}
+					})
+				}()
 			}
 		}(l, ch)
 	}
@@ -433,11 +482,18 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		clear(windowEvals)
 	}
 
-	// Time-zero settling step: apply t=0 stimulus, then evaluate all gates.
+	// Time-zero settling step: apply t=0 stimulus, then evaluate all
+	// gates. A checkpoint resume skips it — the snapshot is already
+	// settled state.
 	epoch++
-	runPhase(0, 0)
-	runPhase(0, 2)
-	clearOutboxes()
+	if cfg.Boot == nil {
+		runPhase(0, 0)
+		runPhase(0, 2)
+		clearOutboxes()
+		if err := checkFail(); err != nil {
+			return nil, err
+		}
+	}
 	var endTime circuit.Tick
 	var stepsSinceRebalance uint64
 
@@ -446,6 +502,12 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		var next uint64
 		have := false
 		for _, l := range lps {
+			if err := l.q.Err(); err != nil {
+				return nil, &supervise.SimError{
+					Engine: "sync", LP: l.id, Phase: "eventq", ModeledTime: endTime,
+					Kind: supervise.KindCausality, Cause: err,
+				}
+			}
 			if pt, ok := l.q.PeekTime(); ok && (!have || pt < next) {
 				next, have = pt, true
 			}
@@ -454,7 +516,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			break
 		}
 		if cfg.MaxEvents > 0 && totalEvents.Load() > cfg.MaxEvents {
-			return nil, fmt.Errorf("sync: event limit %d exceeded at time %d", cfg.MaxEvents, next)
+			return nil, &supervise.SimError{
+				Engine: "sync", LP: -1, Phase: "run", ModeledTime: circuit.Tick(next),
+				Kind:  supervise.KindEventLimit,
+				Cause: fmt.Errorf("event limit %d exceeded at time %d", cfg.MaxEvents, next),
+			}
 		}
 		t := circuit.Tick(next)
 		endTime = t
@@ -462,6 +528,9 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		runPhase(t, 0)
 		runPhase(t, 1)
 		clearOutboxes()
+		if err := checkFail(); err != nil {
+			return nil, err
+		}
 		if rebalancing {
 			stepsSinceRebalance++
 			if stepsSinceRebalance >= cfg.Rebalance.Interval {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/sim/kernel"
+	"repro/internal/sim/supervise"
 	"repro/internal/simtest/chaos/inject"
 	"repro/internal/trace"
 )
@@ -42,6 +43,7 @@ type step struct {
 	snap    *kernel.Snapshot // full-copy state saving (state before the step)
 	sent    []sentRec
 	created []uint64
+	words   uint64 // history words charged to the memory throttle
 }
 
 // lazyRec is a message awaiting lazy cancellation: sent by a rolled-back
@@ -61,6 +63,7 @@ type tlp struct {
 	rec  trace.Recorder
 	st   *metrics.LPBlock
 	trsh *trace.Shard
+	slot *supervise.LPSlot // watchdog scoreboard entry; nil-safe when unwatched
 
 	lvt         circuit.Tick
 	gvt         circuit.Tick // last observed GVT
@@ -189,6 +192,10 @@ func (l *tlp) getStep(t circuit.Tick) *step {
 // Callers must be done with every slice the record owns: the requeue/cancel
 // loops copy inputs, sent records, and created ids by value before recycling.
 func (l *tlp) putStep(s *step) {
+	if s.words != 0 {
+		l.sh.histWords.Add(-int64(s.words))
+		s.words = 0
+	}
 	if s.undo != nil {
 		l.undoPool = append(l.undoPool, s.undo)
 		s.undo = nil
@@ -325,6 +332,17 @@ func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 	l.trsh.Span(trace.PhaseEvaluate, begin, t)
 	l.curStep = nil
 	if !initial {
+		if l.sh.cfg.HistoryLimit > 0 {
+			w := uint64(len(s.inputs) + len(s.sent) + len(s.created))
+			if s.undo != nil {
+				w += s.undo.Words()
+			}
+			if s.snap != nil {
+				w += s.snap.Words()
+			}
+			s.words = w
+			l.sh.histWords.Add(int64(w))
+		}
 		l.steps = append(l.steps, s)
 	} else {
 		l.putStep(s)
@@ -356,7 +374,11 @@ func (l *tlp) rollback(ts circuit.Tick) {
 		return
 	}
 	if l.steps[idx].time < l.fossilFloor {
-		l.sh.fail(fmt.Errorf("timewarp: LP %d rollback to %d below GVT %d", l.id, ts, l.fossilFloor))
+		l.sh.fail(&supervise.SimError{
+			Engine: "timewarp", LP: l.id, Phase: "rollback", ModeledTime: ts,
+			Kind:  supervise.KindCausality,
+			Cause: fmt.Errorf("rollback to %d below GVT %d", ts, l.fossilFloor),
+		})
 		return
 	}
 	suffix := l.steps[idx:]
@@ -488,6 +510,7 @@ func (l *tlp) localMin() circuit.Tick {
 func (l *tlp) fossilCollect(gvt circuit.Tick) {
 	l.gvt = gvt
 	l.fossilFloor = gvt
+	l.slot.SetBound(uint64(gvt))
 	idx := sort.Search(len(l.steps), func(i int) bool { return l.steps[i].time >= gvt })
 	if idx > 0 {
 		// Recycle the collected prefix and compact in place, keeping the
@@ -511,7 +534,11 @@ func (l *tlp) handle(m msg) bool {
 		l.st.MessagesRecv++
 		l.handledSince++
 		if m.time < l.fossilFloor {
-			l.sh.fail(fmt.Errorf("timewarp: LP %d received message at %d below GVT %d", l.id, m.time, l.fossilFloor))
+			l.sh.fail(&supervise.SimError{
+				Engine: "timewarp", LP: l.id, Phase: "handle", ModeledTime: m.time,
+				Kind:  supervise.KindCausality,
+				Cause: fmt.Errorf("received message at %d below GVT %d", m.time, l.fossilFloor),
+			})
 			return false
 		}
 		if m.time <= l.lvt {
@@ -524,7 +551,11 @@ func (l *tlp) handle(m msg) bool {
 		l.st.AntiMessagesRecv++
 		l.handledSince++
 		if m.time < l.fossilFloor {
-			l.sh.fail(fmt.Errorf("timewarp: LP %d received anti-message at %d below GVT %d", l.id, m.time, l.fossilFloor))
+			l.sh.fail(&supervise.SimError{
+				Engine: "timewarp", LP: l.id, Phase: "handle", ModeledTime: m.time,
+				Kind:  supervise.KindCausality,
+				Cause: fmt.Errorf("received anti-message at %d below GVT %d", m.time, l.fossilFloor),
+			})
 			return false
 		}
 		if m.time <= l.lvt {
@@ -560,8 +591,12 @@ func (l *tlp) handleAll(batch []msg) bool {
 // message sits in a local batch while its sender sleeps — GVT quiescence
 // and deadlock-freedom both depend on it.
 func (l *tlp) run() {
-	l.execInitial()
-	l.flushSends()
+	l.slot.SetPhase(supervise.PhaseRun)
+	defer l.slot.SetPhase(supervise.PhaseDone)
+	if l.sh.cfg.Boot == nil {
+		l.execInitial()
+		l.flushSends()
+	}
 	for {
 		if l.sh.abort.Load() {
 			return
@@ -575,8 +610,10 @@ func (l *tlp) run() {
 			// Processing is frozen during GVT computation; keep serving
 			// rounds until released.
 			begin := l.trsh.Now()
+			l.slot.SetPhase(supervise.PhaseBarrier)
 			var ok bool
 			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
+			l.slot.SetPhase(supervise.PhaseRun)
 			l.trsh.Span(trace.PhaseBarrier, begin, trace.NoTick)
 			if !ok || !l.handleAll(l.buf) {
 				return
@@ -585,8 +622,14 @@ func (l *tlp) run() {
 			continue
 		}
 		t := l.nextLive()
+		// The effective optimism window is the narrower of the configured
+		// window and any memory-throttle clamp the coordinator imposed.
+		win := l.cfg.Window
+		if cl := circuit.Tick(l.sh.clamp.Load()); cl != 0 && (win == 0 || cl < win) {
+			win = cl
+		}
 		blocked := t == infTick || t > l.sh.until ||
-			(l.cfg.Window > 0 && l.gvt < infTick-l.cfg.Window && t > l.gvt+l.cfg.Window)
+			(win > 0 && l.gvt < infTick-win && t > l.gvt+win)
 		if blocked {
 			// Nothing executable: flush provably wrong lazy sends, then
 			// sleep until messages (or a GVT round) arrive.
@@ -595,10 +638,13 @@ func (l *tlp) run() {
 			l.flushSends()
 			l.cfg.Chaos.Stall(l.id, inject.PhaseBlock)
 			begin := l.trsh.Now()
+			l.slot.SetNext(uint64(t))
+			l.slot.SetPhase(supervise.PhaseBlock)
 			l.sh.idle.Add(1)
 			var ok bool
 			l.buf, ok = l.sh.inboxes[l.id].WaitDrain(l.buf[:0])
 			l.sh.idle.Add(-1)
+			l.slot.SetPhase(supervise.PhaseRun)
 			l.trsh.Span(trace.PhaseBlock, begin, trace.NoTick)
 			if !ok || !l.handleAll(l.buf) {
 				return
@@ -612,10 +658,25 @@ func (l *tlp) run() {
 		}
 		processed := l.sh.events.Add(uint64(len(events)))
 		if max := l.sh.cfg.MaxEvents; max > 0 && processed > max {
-			l.sh.fail(fmt.Errorf("timewarp: event limit %d exceeded at time %d", max, t))
+			l.sh.fail(&supervise.SimError{
+				Engine: "timewarp", LP: l.id, Phase: "run", ModeledTime: t,
+				Kind:  supervise.KindEventLimit,
+				Cause: fmt.Errorf("event limit %d exceeded at time %d", max, t),
+			})
 			return
 		}
+		// Publish the event count before executing so a long evaluation is
+		// still visible to the watchdog as progress.
+		l.slot.AddEvents(uint64(len(events)))
 		l.execStep(t, events, false)
+		l.slot.SetLVT(uint64(l.lvt))
+		if err := l.q.Err(); err != nil {
+			l.sh.fail(&supervise.SimError{
+				Engine: "timewarp", LP: l.id, Phase: "eventq", ModeledTime: l.lvt,
+				Kind: supervise.KindCausality, Cause: err,
+			})
+			return
+		}
 		l.flushSends()
 		l.cfg.Chaos.Stall(l.id, inject.PhaseEvaluate)
 		// Yield between speculative steps. Without this, a single-core

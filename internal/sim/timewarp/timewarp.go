@@ -33,7 +33,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpsc"
 	"repro/internal/partition"
+	"repro/internal/sim/ckpt"
 	"repro/internal/sim/kernel"
+	"repro/internal/sim/supervise"
 	"repro/internal/simtest/chaos/inject"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -130,6 +132,24 @@ type Config struct {
 	// evaluate/rollback/block boundaries. Test harness use only; nil
 	// leaves the hot path on the raw mailboxes.
 	Chaos *inject.Hook
+	// HangTimeout, when non-zero, arms a progress watchdog: if no LP
+	// advances its clock, bound, or event count for this long, the run
+	// aborts with a machine-readable hang report instead of blocking
+	// forever.
+	HangTimeout time.Duration
+	// HistoryLimit, when non-zero, bounds the total words of saved
+	// rollback history (undo logs, snapshots, step records) across all
+	// LPs. When the bound is exceeded the coordinator forces an immediate
+	// GVT round (aggressive fossil collection) and clamps the optimism
+	// window until memory falls below half the limit.
+	HistoryLimit uint64
+	// Boot, when non-nil, resumes from a checkpoint instead of time zero:
+	// LP state planes are seeded from the snapshot, the pending-event
+	// queue is reloaded from it, the stimulus is ignored (the checkpoint
+	// queue already holds every future stimulus change), and the
+	// time-zero settling step is skipped. The returned waveform covers
+	// only the resumed suffix.
+	Boot *ckpt.State
 }
 
 // Result is the outcome of an optimistic run.
@@ -206,12 +226,25 @@ type shared struct {
 	idle    atomic.Int64
 	errOnce gosync.Once
 	err     error
+
+	// Memory-throttle state (HistoryLimit > 0). histWords is the live
+	// total of saved-history words across LPs; clamp, when non-zero, is a
+	// coordinator-imposed optimism window that overrides any wider
+	// configured window. throttleRounds and histPeak are coordinator-owned
+	// and read only after it returns.
+	histWords      atomic.Int64
+	clamp          atomic.Uint64
+	throttleRounds uint64
+	histPeak       uint64
 }
 
-// fail records the first fatal error and aborts the run.
+// fail records the first fatal error and aborts the run. Releasing any
+// chaos-injected hang is part of the abort contract: a parked LP must be
+// unparked so it can observe the abort flag and exit.
 func (sh *shared) fail(err error) {
 	sh.errOnce.Do(func() { sh.err = err })
 	sh.abort.Store(true)
+	sh.cfg.Chaos.Release()
 	for _, ib := range sh.inboxes {
 		ib.Poke()
 	}
@@ -233,6 +266,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 	if cfg.System == 0 {
 		cfg.System = logic.NineValued
+	}
+	if cfg.Boot != nil {
+		if err := cfg.Boot.Check(c, cfg.System); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.GVTInterval == 0 {
 		cfg.GVTInterval = 50 * time.Millisecond
@@ -266,45 +304,93 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 	sh.replies = make(chan gvtReply, n)
 
+	var board *supervise.Board
+	if cfg.HangTimeout > 0 {
+		board = supervise.NewBoard(n)
+	}
 	blockGates := p.BlockGates()
 	lps := make([]*tlp, n)
 	for i := 0; i < n; i++ {
 		lps[i] = newTLP(sh, i, kernel.New(c, owner, i, cfg.System, watched, blockGates[i]), cfg)
+		lps[i].slot = board.LP(i)
+		if cfg.Boot != nil {
+			lps[i].k.SeedState(cfg.Boot.Vals, cfg.Boot.PrevClk, cfg.Boot.Projected)
+		}
 	}
 
-	// Stimulus routing, as in the conservative engine: owner plus ghosts.
-	deliverTo := map[circuit.GateID][]int{}
-	for _, in := range c.Inputs {
-		dsts := []int{owner[in]}
-		seen := map[int]bool{owner[in]: true}
-		for _, fo := range c.Fanout[in] {
-			if b := owner[fo]; !seen[b] {
-				seen[b] = true
-				dsts = append(dsts, b)
+	if cfg.Boot == nil {
+		// Stimulus routing, as in the conservative engine: owner plus
+		// ghosts.
+		deliverTo := map[circuit.GateID][]int{}
+		for _, in := range c.Inputs {
+			dsts := []int{owner[in]}
+			seen := map[int]bool{owner[in]: true}
+			for _, fo := range c.Fanout[in] {
+				if b := owner[fo]; !seen[b] {
+					seen[b] = true
+					dsts = append(dsts, b)
+				}
+			}
+			deliverTo[in] = dsts
+		}
+		for _, ch := range stim.Changes {
+			if ch.Time > until {
+				continue
+			}
+			for _, dst := range deliverTo[ch.Input] {
+				l := lps[dst]
+				ev := qevent{gate: ch.Input, value: cfg.System.Project(ch.Value), id: l.newID()}
+				if ch.Time == 0 {
+					l.initialEvents = append(l.initialEvents, kernel.Event{Gate: ev.gate, Value: ev.value})
+				} else {
+					l.q.Push(uint64(ch.Time), ev)
+				}
 			}
 		}
-		deliverTo[in] = dsts
-	}
-	for _, ch := range stim.Changes {
-		if ch.Time > until {
-			continue
-		}
-		for _, dst := range deliverTo[ch.Input] {
-			l := lps[dst]
-			ev := qevent{gate: ch.Input, value: cfg.System.Project(ch.Value), id: l.newID()}
-			if ch.Time == 0 {
-				l.initialEvents = append(l.initialEvents, kernel.Event{Gate: ev.gate, Value: ev.value})
-			} else {
-				l.q.Push(uint64(ch.Time), ev)
+	} else {
+		// Checkpoint events route to the target's owner plus every block
+		// holding a fanout ghost — the same visibility rule as stimulus,
+		// but checkpoint events can target any gate, not just inputs.
+		seen := map[int]bool{}
+		for _, ev := range cfg.Boot.Events {
+			for b := range seen {
+				delete(seen, b)
+			}
+			seen[owner[ev.Gate]] = true
+			dsts := []int{owner[ev.Gate]}
+			for _, fo := range c.Fanout[ev.Gate] {
+				if b := owner[fo]; !seen[b] {
+					seen[b] = true
+					dsts = append(dsts, b)
+				}
+			}
+			for _, dst := range dsts {
+				l := lps[dst]
+				l.q.Push(ev.Time, qevent{gate: ev.Gate, value: ev.Value, id: l.newID()})
 			}
 		}
 	}
+
+	wd := supervise.Watch(supervise.WatchConfig{
+		Engine:     "timewarp",
+		Timeout:    cfg.HangTimeout,
+		Board:      board,
+		QueueDepth: func(i int) int { return sh.inboxes[i].Len() },
+		OnHang:     sh.fail,
+	})
+	defer wd.Stop()
 
 	var wg gosync.WaitGroup
 	for _, l := range lps {
 		wg.Add(1)
 		go func(l *tlp) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					l.slot.SetPhase(supervise.PhaseDone)
+					l.sh.fail(supervise.FromPanic("timewarp", l.id, "run", l.lvt, r))
+				}
+			}()
 			metrics.Do(sink, "timewarp", l.id, "run", func() {
 				l.run()
 			})
@@ -313,15 +399,25 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	var gvtRounds uint64
 	var finalGVT circuit.Tick
 	metrics.Do(sink, "timewarp", -1, "coordinate", func() {
+		defer func() {
+			if r := recover(); r != nil {
+				sh.fail(supervise.FromPanic("timewarp", -1, "coordinate", 0, r))
+			}
+		}()
 		gvtRounds, finalGVT = coordinate(sh, lps)
 	})
 	wg.Wait()
+	wd.Stop()
 
 	if sh.abort.Load() {
 		if sh.err != nil {
 			return nil, sh.err
 		}
-		return nil, fmt.Errorf("timewarp: event limit %d exceeded", cfg.MaxEvents)
+		return nil, &supervise.SimError{
+			Engine: "timewarp", LP: -1, Phase: "run",
+			Kind:  supervise.KindEventLimit,
+			Cause: fmt.Errorf("event limit %d exceeded", cfg.MaxEvents),
+		}
 	}
 
 	res := &Result{Values: make([]logic.Value, len(c.Gates)), GVT: finalGVT}
@@ -341,6 +437,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	if finalGVT != infTick {
 		sink.SetGauge("final_gvt", float64(finalGVT))
 	}
+	if cfg.HistoryLimit > 0 {
+		sink.SetGauge("mem_throttle_rounds", float64(sh.throttleRounds))
+		sink.SetGauge("history_peak_words", float64(sh.histPeak))
+	}
 	res.Stats = stats.Collect(sink, time.Since(start))
 	return res, nil
 }
@@ -357,11 +457,29 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 	if threshold < 100_000 {
 		threshold = 100_000
 	}
+	limit := sh.cfg.HistoryLimit
 	var lastEvents uint64
 	for {
-		// Wait for enough progress, an all-idle run, or the wall ceiling.
+		// Wait for enough progress, an all-idle run, the wall ceiling, or
+		// (memory throttling) the history bound being exceeded — the last
+		// forces an early GVT round so fossil collection can run. The
+		// forced round still waits out a small air gap so the LPs execute
+		// between pauses: with no gap a persistently-over-limit run would
+		// pause back-to-back and never advance GVT at all.
 		deadline := time.Now().Add(sh.cfg.GVTInterval)
+		gapEnd := time.Now().Add(2 * time.Millisecond)
 		for time.Now().Before(deadline) {
+			over := false
+			if limit > 0 {
+				w := uint64(sh.histWords.Load())
+				if w > sh.histPeak {
+					sh.histPeak = w
+				}
+				over = w > limit
+			}
+			if over && time.Now().After(gapEnd) {
+				break
+			}
 			if sh.abort.Load() || sh.idle.Load() == int64(n) ||
 				sh.events.Load()-lastEvents >= threshold {
 				break
@@ -382,10 +500,21 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 			}
 			var handled uint64
 			localMins = localMins[:0]
-			for i := 0; i < n; i++ {
-				r := <-sh.replies
-				handled += r.handled
-				localMins = append(localMins, r.localMin)
+			// An LP that died (panic, watchdog abort) never replies, so the
+			// collection loop must stay abort-aware rather than block on the
+			// channel forever.
+			for i := 0; i < n; {
+				select {
+				case r := <-sh.replies:
+					handled += r.handled
+					localMins = append(localMins, r.localMin)
+					i++
+				case <-time.After(5 * time.Millisecond):
+					if sh.abort.Load() {
+						sh.paused.Store(false)
+						return rounds, gvt
+					}
+				}
 			}
 			if sh.abort.Load() {
 				sh.paused.Store(false)
@@ -401,6 +530,9 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 			if m < gvt {
 				gvt = m
 			}
+		}
+		if limit > 0 {
+			throttle(sh, localMins, gvt)
 		}
 		if gvt == infTick {
 			sh.coShard.Span(trace.PhaseGVT, roundBegin, trace.NoTick)
@@ -419,5 +551,44 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 		for _, ib := range sh.inboxes {
 			ib.Put(msg{kind: msgGVTDone, time: gvt})
 		}
+	}
+}
+
+// throttle adjusts the optimism clamp after a GVT round. Over the history
+// limit: count a throttle round and clamp the window to half the observed
+// optimism spread (or halve an existing clamp), forcing the LPs to stay
+// near GVT so fossil collection can keep up. Under half the limit: release
+// the clamp. The hysteresis band avoids oscillating at the boundary.
+func throttle(sh *shared, localMins []circuit.Tick, gvt circuit.Tick) {
+	w := uint64(sh.histWords.Load())
+	if w > sh.histPeak {
+		sh.histPeak = w
+	}
+	limit := sh.cfg.HistoryLimit
+	switch {
+	case w > limit:
+		sh.throttleRounds++
+		cl := sh.clamp.Load()
+		if cl == 0 {
+			// First clamp: half the spread between GVT and the most
+			// optimistic LP's next event.
+			var spread circuit.Tick = 2
+			if gvt != infTick {
+				for _, m := range localMins {
+					if m != infTick && m > gvt && m-gvt > spread {
+						spread = m - gvt
+					}
+				}
+			}
+			cl = uint64(spread / 2)
+		} else if cl > 1 {
+			cl /= 2
+		}
+		if cl < 1 {
+			cl = 1
+		}
+		sh.clamp.Store(cl)
+	case w < limit/2:
+		sh.clamp.Store(0)
 	}
 }

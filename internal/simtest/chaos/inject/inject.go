@@ -186,6 +186,17 @@ type Hook struct {
 	// engine promise more than it can keep, which the transport's promise
 	// checker must catch.
 	LookaheadBias uint64
+	// PanicLP, when >= 0, panics that LP's goroutine at its first
+	// PhaseEvaluate crossing. The panic fires once per Hook lifetime —
+	// Rearm does not reload it — so a supervisor retry of the same hook
+	// models a transient fault that does not recur.
+	PanicLP int
+	// HangLP, when >= 0, parks that LP at its first PhaseEvaluate
+	// crossing until Release is called (engines release from their abort
+	// paths, so a watchdog abort always unblocks it). Unlike PanicLP the
+	// hang is rearmed by Rearm: every retried attempt hangs again,
+	// modeling a permanent stall that only an engine fallback survives.
+	HangLP int
 
 	seed uint64
 	plan Plan
@@ -197,15 +208,23 @@ type Hook struct {
 	stallMu  sync.Mutex
 	stallCnt map[stallKey]uint64
 	stalls   map[stallKey][]Fault
+
+	faultMu  sync.Mutex
+	panicked bool          // PanicLP already fired (never rearmed)
+	hung     bool          // HangLP already fired this attempt
+	hangCh   chan struct{} // closed by Release; recreated by Rearm
 }
 
 // NewHook builds the shared chaos state for one run.
 func NewHook(seed uint64, plan Plan) *Hook {
 	h := &Hook{
+		PanicLP:  -1,
+		HangLP:   -1,
 		seed:     seed,
 		plan:     plan,
 		stallCnt: map[stallKey]uint64{},
 		stalls:   map[stallKey][]Fault{},
+		hangCh:   make(chan struct{}),
 	}
 	for _, f := range plan {
 		if f.Op == OpStall {
@@ -229,6 +248,10 @@ func (h *Hook) Plan() Plan { return h.plan }
 func (h *Hook) Stall(lp int, ph Phase) {
 	if h == nil {
 		return
+	}
+	if ph == PhaseEvaluate {
+		h.maybePanic(lp)
+		h.maybeHang(lp)
 	}
 	k := stallKey{lp, ph}
 	h.stallMu.Lock()
@@ -255,6 +278,71 @@ func (h *Hook) Stall(lp int, ph Phase) {
 	for i := uint64(0); i < spin; i++ {
 		runtime.Gosched()
 	}
+}
+
+// maybePanic fires the one-shot PanicLP fault.
+func (h *Hook) maybePanic(lp int) {
+	if h.PanicLP != lp {
+		return
+	}
+	h.faultMu.Lock()
+	fire := !h.panicked
+	h.panicked = true
+	h.faultMu.Unlock()
+	if fire {
+		h.noteFired(fmt.Sprintf("panic(lp%d evaluate)", lp))
+		panic(fmt.Sprintf("chaos: injected panic at lp %d", lp))
+	}
+}
+
+// maybeHang parks the HangLP fault's LP until Release.
+func (h *Hook) maybeHang(lp int) {
+	if h.HangLP != lp {
+		return
+	}
+	h.faultMu.Lock()
+	fire := !h.hung
+	h.hung = true
+	ch := h.hangCh
+	h.faultMu.Unlock()
+	if fire {
+		h.noteFired(fmt.Sprintf("hang(lp%d evaluate)", lp))
+		<-ch
+	}
+}
+
+// Release unblocks a parked HangLP fault. Engines call it from their
+// abort-everything path, so a watchdog or failure abort never leaves
+// the hung LP goroutine (and the run's WaitGroup) blocked forever. Safe
+// on a nil receiver and idempotent per attempt.
+func (h *Hook) Release() {
+	if h == nil {
+		return
+	}
+	h.faultMu.Lock()
+	select {
+	case <-h.hangCh:
+	default:
+		close(h.hangCh)
+	}
+	h.faultMu.Unlock()
+}
+
+// Rearm resets the per-attempt fault state so a supervisor can retry
+// with the same hook: the hang fires again (a permanent stall), stall
+// schedules restart from crossing zero, but a fired panic stays fired
+// (a transient fault). Safe on a nil receiver.
+func (h *Hook) Rearm() {
+	if h == nil {
+		return
+	}
+	h.faultMu.Lock()
+	h.hung = false
+	h.hangCh = make(chan struct{})
+	h.faultMu.Unlock()
+	h.stallMu.Lock()
+	h.stallCnt = map[stallKey]uint64{}
+	h.stallMu.Unlock()
 }
 
 // violate records a protocol violation (bounded; the first entries are
