@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchbaseline [-benchtime 20x] [-filter Micro|Engine|all] [-o BENCH_parsim.json]
+//	go run ./cmd/benchbaseline [-benchtime 20x] [-filter Micro|Wide|Engine|all] [-o BENCH_parsim.json] [-force]
 //
 // The emitted JSON is deterministic in shape and ordering (one entry per
 // suite benchmark, suite order); the measured numbers naturally vary with
@@ -13,6 +13,13 @@
 // not byte equality. Regenerate on a quiet machine with:
 //
 //	go run ./cmd/benchbaseline -o BENCH_parsim.json
+//
+// Every result row records the GOMAXPROCS it ran under, and the document
+// carries the full environment fingerprint (Go version, OS, architecture,
+// CPU count, GOMAXPROCS). Overwriting an existing baseline whose
+// fingerprint differs is refused — a baseline recorded on one machine
+// silently replaced by numbers from another is how a wall-clock baseline
+// stops meaning anything — pass -force to override deliberately.
 package main
 
 import (
@@ -35,24 +42,36 @@ type entry struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
+	// Gomaxprocs is the parallelism the result was measured under. It is
+	// recorded per result, not only per document, so rows appended or
+	// patched by hand still carry their provenance.
+	Gomaxprocs int                `json:"gomaxprocs"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
 }
 
 // baseline is the BENCH_parsim.json document.
 type baseline struct {
-	Command   string  `json:"command"`
-	Go        string  `json:"go"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"`
-	BenchTime string  `json:"benchtime"`
-	Results   []entry `json:"results"`
+	Command    string  `json:"command"`
+	Go         string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	BenchTime  string  `json:"benchtime"`
+	Results    []entry `json:"results"`
+}
+
+// fingerprint is the comparable environment identity of a baseline.
+func (b *baseline) fingerprint() string {
+	return fmt.Sprintf("go=%s goos=%s goarch=%s num_cpu=%d gomaxprocs=%d",
+		b.Go, b.GOOS, b.GOARCH, b.NumCPU, b.Gomaxprocs)
 }
 
 func main() {
 	benchtime := flag.String("benchtime", "20x", "per-benchmark budget (testing -benchtime syntax)")
-	filter := flag.String("filter", "all", "which suite slice to run: all, micro, or engines")
+	filter := flag.String("filter", "all", "which suite slice to run: all, micro, wide, or engines")
 	out := flag.String("o", "BENCH_parsim.json", "output path ('-' for stdout)")
+	force := flag.Bool("force", false, "overwrite an existing baseline even if its environment fingerprint differs")
 	flag.Parse()
 
 	// testing.Benchmark honours the package-level -test.benchtime flag, so
@@ -70,21 +89,46 @@ func main() {
 		suite = benchsuite.All()
 	case "micro":
 		suite = benchsuite.Micro()
+	case "wide":
+		suite = benchsuite.Wide()
 	case "engines":
 		suite = benchsuite.Engines()
 	default:
-		fmt.Fprintf(os.Stderr, "benchbaseline: unknown -filter %q (want all, micro, or engines)\n", *filter)
+		fmt.Fprintf(os.Stderr, "benchbaseline: unknown -filter %q (want all, micro, wide, or engines)\n", *filter)
 		os.Exit(2)
 	}
 
 	doc := baseline{
-		Command:   "go run ./cmd/benchbaseline",
-		Go:        runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		BenchTime: *benchtime,
+		Command:    "go run ./cmd/benchbaseline",
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
 	}
+
+	// Fingerprint guard: refuse to replace a baseline measured in a
+	// different environment unless forced.
+	if *out != "-" {
+		if raw, err := os.ReadFile(*out); err == nil {
+			var prev baseline
+			if err := json.Unmarshal(raw, &prev); err != nil {
+				fmt.Fprintf(os.Stderr, "benchbaseline: existing %s is not a baseline document: %v\n(pass -force to overwrite anyway)\n", *out, err)
+				if !*force {
+					os.Exit(1)
+				}
+			} else if prev.fingerprint() != doc.fingerprint() {
+				fmt.Fprintf(os.Stderr, "benchbaseline: environment fingerprint mismatch with existing %s:\n  recorded: %s\n  current:  %s\n", *out, prev.fingerprint(), doc.fingerprint())
+				if !*force {
+					fmt.Fprintf(os.Stderr, "refusing to overwrite — numbers from different environments are not comparable (pass -force to override)\n")
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "-force given: overwriting\n")
+			}
+		}
+	}
+
 	for _, bm := range suite {
 		fmt.Fprintf(os.Stderr, "running %-32s ", bm.Name)
 		r := testing.Benchmark(bm.Fn)
@@ -94,6 +138,7 @@ func main() {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
 		}
 		if len(r.Extra) > 0 {
 			e.Extra = make(map[string]float64, len(r.Extra))

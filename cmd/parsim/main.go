@@ -57,6 +57,8 @@ func main() {
 		presim     = flag.Bool("presim", false, "weight the partitioner with a pre-simulation profile")
 		system     = flag.Int("system", 9, "logic value system: 2, 4, or 9")
 		queueName  = flag.String("queue", "heap", "pending-event set: heap, calendar, wheel")
+		wide       = flag.Bool("wide", false, "wide evaluation: pack -lanes independent stimulus batches into 64-lane words, 64 vectors per gate op (2- or 4-valued only)")
+		lanes      = flag.Int("lanes", logic.Lanes, "meaningful lanes of a -wide run (1..64); each lane gets an independent stimulus")
 		nvectors   = flag.Int("vectors", 50, "number of random vectors")
 		activity   = flag.Float64("activity", 0.5, "per-input toggle probability per vector")
 		period     = flag.Uint64("period", 40, "ticks between vectors")
@@ -86,6 +88,16 @@ func main() {
 		faultBias    = flag.Uint64("fault-lookahead-bias", 0, "chaos: inflate cmb lookahead promises by N ticks (forces causality violations)")
 	)
 	flag.Parse()
+
+	if *wide && *system == 9 {
+		// Nine-valued signals don't pack into two-bit lanes; a wide run
+		// defaults to four-valued unless -system was given explicitly.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "system" })
+		if !explicit {
+			*system = 4
+		}
+	}
 
 	c, err := loadCircuit(*benchPath, *circName, *fineDelays, *seed)
 	fatal(err)
@@ -185,6 +197,12 @@ func main() {
 		fmt.Printf("stimulus: %d vectors to t=%d, horizon t=%d\n", stim.NumVectors(), stim.End, until)
 	}
 
+	if *wide {
+		runWide(c, *lanes, *nvectors, *activity, circuit.Tick(*period), *seed, opts,
+			*vcdPath, *metricsOut, *traceOut, *quiet)
+		return
+	}
+
 	rep, err := core.Simulate(c, stim, until, opts)
 	fatal(err)
 
@@ -248,6 +266,109 @@ func main() {
 				opts.Tracer.TotalSpans(), opts.Tracer.Dropped(), *traceOut)
 		}
 	}
+}
+
+// runWide executes the -wide path: -lanes independent stimulus batches are
+// packed into 64-lane words and evaluated by the wide variant of the
+// selected engine, 64 vectors per gate operation. Supervision,
+// checkpointing, restore, fault injection, and the nine-valued system have
+// no wide counterpart and are rejected up front.
+func runWide(c *circuit.Circuit, lanes, vecs int, activity float64, period circuit.Tick,
+	seed int64, opts core.Options, vcdPath, metricsOut, traceOut string, quiet bool) {
+	switch {
+	case opts.System == logic.NineValued:
+		fatal(fmt.Errorf("-wide needs -system 2 or 4: nine-valued signals do not pack into two-bit lanes"))
+	case opts.Supervise != nil:
+		fatal(fmt.Errorf("-wide does not support -supervise/-watchdog"))
+	case opts.Restore != nil:
+		fatal(fmt.Errorf("-wide does not support -restore"))
+	case opts.Chaos != nil:
+		fatal(fmt.Errorf("-wide does not support fault injection"))
+	case opts.CheckpointEvery > 0:
+		fatal(fmt.Errorf("-wide does not support -checkpoint-every"))
+	}
+
+	ws, err := makeWideStimulus(c, lanes, vecs, activity, period, seed, opts.System)
+	fatal(err)
+	until := core.WideHorizon(c, ws)
+	if !quiet {
+		fmt.Printf("wide: %d lanes x %d boundaries (%d vectors), horizon t=%d\n",
+			ws.Lanes, ws.NumVectors(), ws.NumVectors()*ws.Lanes, until)
+	}
+
+	start := time.Now()
+	rep, err := core.SimulateWide(c, ws, until, opts)
+	fatal(err)
+	wall := time.Since(start)
+
+	fmt.Printf("engine=%s-wide lps=%d lanes=%d vectors=%d vectors/s=%.0f wall=%v\n",
+		opts.Engine, rep.Processors, rep.Lanes, rep.Vectors, rep.VectorsPerSec,
+		wall.Round(10*time.Microsecond))
+	if !quiet {
+		if opts.Engine != core.EngineSeq {
+			fmt.Printf("counters: %s\n", rep.Stats.Summary(stats.DefaultCostModel()))
+		}
+		fmt.Printf("final outputs (lane 0):")
+		for _, o := range c.Outputs {
+			fmt.Printf(" %s=%v", c.Gate(o).Name, rep.Values[o].Get(0))
+		}
+		fmt.Println()
+	}
+
+	if vcdPath != "" {
+		init := func(g circuit.GateID) logic.Value {
+			return opts.System.Project(circuit.InitialValue(c.Gates[g].Kind))
+		}
+		wf := rep.Waveform.Lane(0, init)
+		f, err := os.Create(vcdPath)
+		fatal(err)
+		defer f.Close()
+		fatal(trace.WriteVCD(f, c, c.Outputs, wf, "1ns"))
+		if !quiet {
+			fmt.Printf("wrote lane-0 waveform (%d samples) to %s\n", len(wf), vcdPath)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		fatal(err)
+		defer f.Close()
+		if rep.Metrics == nil {
+			fatal(fmt.Errorf("no metrics report produced"))
+		}
+		fatal(rep.Metrics.WriteJSON(f))
+		if !quiet {
+			fmt.Printf("metrics: %s -> %s\n", rep.Metrics.Summary(), metricsOut)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		fatal(err)
+		defer f.Close()
+		fatal(opts.Tracer.WriteJSON(f))
+		if !quiet {
+			fmt.Printf("trace: %d spans (%d dropped) -> %s\n",
+				opts.Tracer.TotalSpans(), opts.Tracer.Dropped(), traceOut)
+		}
+	}
+}
+
+// makeWideStimulus is makeStimulus on the wide plane: lanes independent
+// clocked or random batches sharing the clock waveform but differently
+// seeded, packed into word-valued changes.
+func makeWideStimulus(c *circuit.Circuit, lanes, vecs int, activity float64,
+	period circuit.Tick, seed int64, sys logic.System) (*vectors.WideStimulus, error) {
+	for _, clk := range []string{"clk", "CLK", "__CLK"} {
+		if _, ok := c.ByName(clk); ok && isInput(c, clk) {
+			ws, _, err := vectors.ClockedBatch(c, vectors.ClockedConfig{
+				Clock: clk, Cycles: vecs, HalfPeriod: period, Activity: activity, Seed: seed,
+			}, lanes, sys)
+			return ws, err
+		}
+	}
+	ws, _, err := vectors.RandomBatch(c, vectors.RandomConfig{
+		Vectors: vecs, Period: period, Activity: activity, Seed: seed,
+	}, lanes, sys)
+	return ws, err
 }
 
 // loadCircuit resolves the circuit source.

@@ -34,10 +34,12 @@ type Benchmark struct {
 	Fn   func(b *testing.B)
 }
 
-// All returns the full suite: microbenchmarks first, then the per-engine
-// end-to-end runs.
+// All returns the full suite: microbenchmarks first, then the wide-plane
+// rows, then the per-engine end-to-end runs.
 func All() []Benchmark {
-	return append(Micro(), Engines()...)
+	out := Micro()
+	out = append(out, Wide()...)
+	return append(out, Engines()...)
 }
 
 // Micro returns the hot-path microbenchmarks.
@@ -68,6 +70,31 @@ func Engines() []Benchmark {
 			Name: "Engine/" + e.String(),
 			Fn:   func(b *testing.B) { benchEngine(b, e) },
 		})
+	}
+	return out
+}
+
+// Wide returns the wide-plane (64 lanes per word) benchmarks: the wide
+// kernel step, and scalar/wide throughput pairs on an identical 64-lane
+// vector workload. Each pair's scalar row replays the 64 per-lane stimuli
+// one at a time; the wide row packs them into one run. The vectors/s extra
+// metric is directly comparable within a pair — the wide win the paper's
+// word-parallel direction promises is that ratio.
+func Wide() []Benchmark {
+	out := []Benchmark{
+		{"WideKernelStep", BenchWideKernelStep},
+	}
+	for _, e := range []core.Engine{core.EngineSeq, core.EngineOblivious, core.EngineCMB} {
+		e := e
+		out = append(out,
+			Benchmark{
+				Name: "Vectors/" + e.String() + "-scalar",
+				Fn:   func(b *testing.B) { benchVectors(b, e, false) },
+			},
+			Benchmark{
+				Name: "Vectors/" + e.String() + "-wide",
+				Fn:   func(b *testing.B) { benchVectors(b, e, true) },
+			})
 	}
 	return out
 }
@@ -128,6 +155,106 @@ func BenchKernelStepUndo(b *testing.B) {
 		lp.Step(t, evs[i%2], false, &undo, &st)
 		t++
 	}
+}
+
+// wideKernelFixture is kernelFixture on the 64-lane plane with two
+// alternating checkerboard word patterns, so every lane toggles each step.
+func wideKernelFixture(b *testing.B) (*kernel.WideLP, [2][]kernel.WideEvent) {
+	b.Helper()
+	c, err := gen.RandomDAG(gen.RandomConfig{Gates: 400, Inputs: 16, Outputs: 8, Locality: 0.6, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner := make([]int, len(c.Gates))
+	own := make([]circuit.GateID, len(c.Gates))
+	for g := range own {
+		own[g] = circuit.GateID(g)
+	}
+	lp := kernel.NewWide(c, owner, 0, logic.TwoValued, nil, own)
+	lp.Schedule = func(circuit.Tick, circuit.GateID, logic.Word) {}
+	lp.Send = func(int, circuit.Tick, circuit.GateID, logic.Word) {}
+	var a logic.Word
+	for k := 0; k < logic.Lanes; k++ {
+		a.Set(k, logic.FromBool(k%2 == 0))
+	}
+	n := logic.WideNot(a)
+	var evs [2][]kernel.WideEvent
+	for i, in := range c.Inputs {
+		w0, w1 := a, n
+		if i%2 == 1 {
+			w0, w1 = n, a
+		}
+		evs[0] = append(evs[0], kernel.WideEvent{Gate: in, Value: w0})
+		evs[1] = append(evs[1], kernel.WideEvent{Gate: in, Value: w1})
+	}
+	return lp, evs
+}
+
+// BenchWideKernelStep measures one warm wide LP timestep: the same apply +
+// evaluate loop as BenchKernelStep with every operation processing 64
+// lanes. lane-evals/op counts evaluations times lanes — the vector work a
+// step retires; ns/op divided by it is the per-vector-evaluation cost the
+// wide plane exists to shrink.
+func BenchWideKernelStep(b *testing.B) {
+	lp, evs := wideKernelFixture(b)
+	var st metrics.LPCounters
+	lp.Step(0, evs[0], true, nil, &st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := circuit.Tick(1)
+	for i := 0; i < b.N; i++ {
+		lp.Step(t, evs[i%2], false, nil, &st)
+		t++
+	}
+	b.ReportMetric(float64(st.Evaluations)/float64(b.N), "evals/op")
+	b.ReportMetric(float64(st.Evaluations)*float64(logic.Lanes)/float64(b.N), "lane-evals/op")
+}
+
+// benchVectors measures vector throughput on a fixed 64-lane workload:
+// 64 independent random stimuli over a mid-sized DAG. The scalar variant
+// simulates the lanes one at a time (64 engine runs per op); the wide
+// variant packs them into a single 64-lane run. Both report vectors/s over
+// the identical total vector count, so within an engine the wide/scalar
+// ratio is the word-parallel speedup.
+func benchVectors(b *testing.B, engine core.Engine, wide bool) {
+	c, err := gen.RandomDAG(gen.RandomConfig{Gates: 600, Inputs: 12, Outputs: 8, Locality: 0.6, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, stims, err := vectors.RandomBatch(c, vectors.RandomConfig{
+		Vectors: 8, Period: 30, Activity: 0.6, Seed: 11,
+	}, logic.Lanes, logic.TwoValued)
+	if err != nil {
+		b.Fatal(err)
+	}
+	until := core.WideHorizon(c, ws)
+	opts := core.Options{
+		Engine: engine, LPs: 4, Partition: partition.MethodFM, PartitionSeed: 11,
+		System: logic.TwoValued,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var totalVectors float64
+	for i := 0; i < b.N; i++ {
+		if wide {
+			rep, err := core.SimulateWide(c, ws, until, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalVectors = float64(rep.Vectors)
+		} else {
+			for _, stim := range stims {
+				if _, err := core.Simulate(c, stim, until, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			totalVectors = float64(ws.NumVectors() * ws.Lanes)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(totalVectors*float64(b.N)/sec, "vectors/s")
+	}
+	b.ReportMetric(totalVectors, "vectors/op")
 }
 
 // benchEventqPushPop measures the steady-state pop-one/push-one cycle of a

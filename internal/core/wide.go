@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/sim/cmb"
+	"repro/internal/sim/hybrid"
+	"repro/internal/sim/oblivious"
+	"repro/internal/sim/seq"
+	"repro/internal/sim/supervise"
+	"repro/internal/sim/sync"
+	"repro/internal/sim/timewarp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// WideReport is the engine-independent outcome of a wide (64-lane) run.
+type WideReport struct {
+	Engine   Engine
+	Values   []logic.Word
+	Waveform trace.WideWaveform
+	EndTime  circuit.Tick
+	// Lanes is the meaningful lane count, copied from the stimulus.
+	Lanes int
+	// Vectors is the total number of stimulus vectors the run consumed:
+	// lanes times distinct stimulus boundaries.
+	Vectors uint64
+	// VectorsPerSec is Vectors divided by the run's wall-clock time — the
+	// headline wide-throughput figure.
+	VectorsPerSec float64
+	Stats         stats.RunStats
+	Processors    int
+	// Metrics is the machine-readable run report from the run's metrics
+	// registry.
+	Metrics *metrics.Report
+}
+
+// SimulateWide runs the selected engine on all 64 lanes of the wide
+// stimulus at once — 64 vectors per gate operation. Every engine is
+// supported; per lane, the committed waveform is bit-identical to a scalar
+// run of that lane's stimulus on the same engine.
+//
+// The wide path is restricted relative to Simulate: the logic system must
+// be two- or four-valued (default four-valued), and checkpoint restore,
+// supervision, and chaos injection are not available.
+func SimulateWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick, opts Options) (rep *WideReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, supervise.FromPanic(opts.Engine.String()+"-wide", -1, "run", 0, r)
+		}
+	}()
+	if opts.Restore != nil {
+		return nil, fmt.Errorf("core: wide runs do not support checkpoint restore")
+	}
+	if opts.Supervise != nil {
+		return nil, fmt.Errorf("core: wide runs do not support supervision")
+	}
+	if opts.Chaos != nil {
+		return nil, fmt.Errorf("core: wide runs do not support chaos injection")
+	}
+	if opts.System == 0 {
+		opts.System = logic.FourValued
+	}
+	if err := logic.CheckWide(opts.System); err != nil {
+		return nil, err
+	}
+	if opts.LPs <= 0 {
+		opts.LPs = 4
+	}
+	sink := opts.Metrics
+	if sink == nil {
+		reg := metrics.NewRegistry(opts.Engine.String() + "-wide")
+		if opts.PProfLabels {
+			reg.EnablePProf()
+		}
+		sink = reg
+	}
+	start := time.Now()
+
+	var part *partition.Partition
+	if opts.Engine.Parallel() {
+		var err error
+		part, err = partition.New(opts.Partition, c, opts.LPs, partition.Options{
+			Weights: opts.Weights,
+			Seed:    opts.PartitionSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep = &WideReport{Engine: opts.Engine, Lanes: stim.Lanes, Processors: opts.LPs}
+	switch opts.Engine {
+	case EngineSeq:
+		res, err := seq.RunWide(c, stim, until, seq.WideConfig{
+			System: opts.System, Queue: opts.Queue, Watch: opts.Watch,
+			MaxEvents: opts.MaxEvents, Metrics: sink,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats.LPs = []metrics.LPCounters{res.Counters}
+		rep.Processors = 1
+	case EngineOblivious:
+		res, err := oblivious.RunWide(c, stim, oblivious.Config{
+			System: opts.System, Workers: opts.LPs, Watch: opts.Watch, Cost: opts.Cost,
+			Metrics: sink, Tracer: opts.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform = res.Values, res.Waveform
+		rep.Stats = res.Stats
+	case EngineSync:
+		res, err := sync.RunWide(c, stim, until, sync.Config{
+			Partition: part, System: opts.System, Queue: opts.Queue,
+			Watch: opts.Watch, Cost: opts.Cost, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+	case EngineCMB, EngineCMBDemand, EngineCMBDetect:
+		mode := cmb.NullEager
+		switch opts.Engine {
+		case EngineCMBDemand:
+			mode = cmb.NullDemand
+		case EngineCMBDetect:
+			mode = cmb.DeadlockRecovery
+		}
+		res, err := cmb.RunWide(c, stim, until, cmb.Config{
+			Partition: part, Mode: mode, System: opts.System, Queue: opts.Queue,
+			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+	case EngineTimeWarp, EngineTimeWarpLazy:
+		cancel := opts.Cancellation
+		if opts.Engine == EngineTimeWarpLazy {
+			cancel = timewarp.Lazy
+		}
+		res, err := timewarp.RunWide(c, stim, until, timewarp.Config{
+			Partition: part, Cancellation: cancel, StateSaving: opts.StateSaving,
+			Window: opts.Window, System: opts.System, Queue: opts.Queue,
+			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer, HistoryLimit: opts.HistoryLimit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+	case EngineHybrid:
+		res, err := hybrid.RunWide(c, stim, until, hybrid.Config{
+			Partition: part, IntraWorkers: opts.IntraWorkers,
+			Cancellation: opts.Cancellation, StateSaving: opts.StateSaving,
+			Window: opts.Window, System: opts.System, Cost: opts.Cost,
+			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
+			Metrics: sink, Tracer: opts.Tracer, HistoryLimit: opts.HistoryLimit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Values, rep.Waveform, rep.EndTime = res.Values, res.Waveform, res.EndTime
+		rep.Stats = res.Stats
+		rep.Processors = res.TotalProcessors()
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", opts.Engine)
+	}
+
+	rep.Vectors = uint64(stim.Lanes) * uint64(countBoundaries(stim, until))
+	wall := time.Since(start)
+	if secs := wall.Seconds(); secs > 0 {
+		rep.VectorsPerSec = float64(rep.Vectors) / secs
+	}
+	sink.SetGauge("lanes", float64(stim.Lanes))
+	sink.SetGauge("vectors_per_sec", rep.VectorsPerSec)
+	if reg, ok := sink.(*metrics.Registry); ok {
+		reg.SetLabel("engine", opts.Engine.String()+"-wide")
+		reg.SetLabel("lanes", fmt.Sprint(stim.Lanes))
+		reg.SetLabel("lps", fmt.Sprint(rep.Processors))
+		if opts.Engine.Parallel() {
+			reg.SetLabel("partition", opts.Partition.String())
+		}
+		rep.Metrics = reg.Report()
+	}
+	return rep, nil
+}
+
+// countBoundaries counts the distinct stimulus times at or before until —
+// the number of vectors each lane applies.
+func countBoundaries(stim *vectors.WideStimulus, until circuit.Tick) int {
+	seen := map[circuit.Tick]bool{}
+	for _, ch := range stim.Changes {
+		if ch.Time <= until {
+			seen[ch.Time] = true
+		}
+	}
+	return len(seen)
+}
+
+// WideHorizon re-exports the wide settling-margin heuristic.
+func WideHorizon(c *circuit.Circuit, stim *vectors.WideStimulus) circuit.Tick {
+	return seq.WideHorizon(c, stim)
+}

@@ -23,6 +23,12 @@
 //     global quiescence (every LP blocked, no messages in transit) and
 //     broadcasts a permit advancing the safe time to the global minimum
 //     next event — the circulating-marker / deadlock recovery family.
+//
+// The protocol core is generic over the value type carried by events and
+// messages: logic.Value for the scalar engine (Run) and logic.Word for the
+// 64-lane wide engine (RunWide). Promises, blocking, and quiescence
+// detection are value-blind, so both instantiations run the identical
+// synchronization algorithm.
 package cmb
 
 import (
@@ -126,19 +132,19 @@ const (
 	msgTerminate
 )
 
-type msg struct {
+type msg[V comparable] struct {
 	kind  msgKind
 	from  int
 	time  circuit.Tick
 	gate  circuit.GateID
-	value logic.Value
+	value V
 }
 
 // msgMeta projects a message to its chaos-transport role: values and
 // nulls are timestamped members of their sender's FIFO stream, promise
 // requests ride the stream without time semantics, and coordinator
 // traffic (permits, terminate) is control that chaos must not touch.
-func msgMeta(m msg) inject.Meta {
+func msgMeta[V comparable](m msg[V]) inject.Meta {
 	switch m.kind {
 	case msgValue:
 		return inject.Meta{Kind: inject.Value, From: m.from, Time: uint64(m.time)}
@@ -158,11 +164,13 @@ type outLink struct {
 }
 
 // shared bundles cross-goroutine state of a run.
-type shared struct {
+type shared[V comparable] struct {
 	cfg     Config
+	engine  string // metrics/supervise label: "cmb" or "cmb-wide"
+	boot    bool
 	c       *circuit.Circuit
 	until   circuit.Tick
-	inboxes []mpsc.Transport[msg]
+	inboxes []mpsc.Transport[msg[V]]
 	transit atomic.Int64
 	events  atomic.Uint64
 	abort   atomic.Bool
@@ -185,7 +193,7 @@ type shared struct {
 // conservative LP that receives a straggler cannot continue — the past it
 // would have to revisit is already evaluated — so the whole run stops and
 // Run surfaces the error instead of panicking in an LP goroutine.
-func (sh *shared) fail(err error) {
+func (sh *shared[V]) fail(err error) {
 	sh.failMu.Lock()
 	if sh.failErr == nil {
 		sh.failErr = err
@@ -195,14 +203,13 @@ func (sh *shared) fail(err error) {
 }
 
 // clp is one conservative logical process.
-type clp struct {
-	id    int
-	sh    *shared
-	k     *kernel.LP
-	q     eventq.Queue[kernel.Event]
-	rec   trace.Recorder
-	st    *metrics.LPBlock
-	trsh  *trace.Shard
+type clp[V comparable] struct {
+	id   int
+	sh   *shared[V]
+	k    *kernel.LPT[V]
+	q    eventq.Queue[kernel.EventT[V]]
+	st   *metrics.LPBlock
+	trsh *trace.Shard
 	lvt  circuit.Tick
 	safe circuit.Tick // DeadlockRecovery: permit bound; null modes: derived
 	// bound, last, reqd, and awaiting are dense per-LP-id slices (length =
@@ -225,7 +232,7 @@ type clp struct {
 	// batched null message for dst, or -1: promises only increase, so a
 	// newer promise overwrites the batched one in place — the fold — and
 	// only the strongest promise per flush reaches the wire.
-	pend     [][]msg
+	pend     [][]msg[V]
 	pendDst  []int
 	pendNull []int
 	// nextPub and wakeGen publish quiescence state to the coordinator
@@ -233,12 +240,21 @@ type clp struct {
 	// generation bumped on every wake for the double-collect snapshot.
 	nextPub atomic.Uint64
 	wakeGen atomic.Uint64
-	buf     []msg
-	evs     []kernel.Event
+	buf     []msg[V]
+	evs     []kernel.EventT[V]
 	end     circuit.Tick
 	// slot is the watchdog scoreboard entry (nil-safe; nil without a
 	// watchdog).
 	slot *supervise.LPSlot
+}
+
+// stimEvent is one pre-routed event whose value is already in the
+// engine's value domain: a projected scalar for Run, a packed 64-lane
+// word for RunWide.
+type stimEvent[V comparable] struct {
+	time  circuit.Tick
+	gate  circuit.GateID
+	value V
 }
 
 // Run simulates c under the stimulus until the given time (inclusive).
@@ -269,21 +285,88 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 	start := time.Now()
 
-	p := cfg.Partition
-	n := p.Blocks
-	owner := p.Assign
+	var stimEvents, bootEvents []stimEvent[logic.Value]
+	var seedState func(k *kernel.LP)
+	if cfg.Boot == nil {
+		stimEvents = make([]stimEvent[logic.Value], 0, len(stim.Changes))
+		for _, ch := range stim.Changes {
+			stimEvents = append(stimEvents, stimEvent[logic.Value]{ch.Time, ch.Input, cfg.System.Project(ch.Value)})
+		}
+	} else {
+		boot := cfg.Boot
+		seedState = func(k *kernel.LP) {
+			k.SeedState(boot.Vals, boot.PrevClk, boot.Projected)
+		}
+		bootEvents = make([]stimEvent[logic.Value], 0, len(boot.Events))
+		for _, ev := range boot.Events {
+			bootEvents = append(bootEvents, stimEvent[logic.Value]{circuit.Tick(ev.Time), ev.Gate, ev.Value})
+		}
+	}
+
 	watched := cfg.Watch
 	if watched == nil {
 		watched = c.Outputs
 	}
+	n := cfg.Partition.Blocks
+	recs := make([]trace.Recorder, n)
+	lps, sh, err := runCore(c, until, cfg, sink, "cmb",
+		stimEvents, bootEvents, seedState,
+		func(self int, own []circuit.GateID) *kernel.LP {
+			return kernel.New(c, cfg.Partition.Assign, self, cfg.System, watched, own)
+		},
+		func(lp int, t circuit.Tick, g circuit.GateID, v logic.Value) {
+			recs[lp].Record(t, g, v)
+		})
+	if err != nil {
+		return nil, err
+	}
 
-	sh := &shared{cfg: cfg, c: c, until: until, sink: sink}
+	res := &Result{Values: make([]logic.Value, len(c.Gates))}
+	owner := cfg.Partition.Assign
+	for g := range c.Gates {
+		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
+	}
+	recPtrs := make([]*trace.Recorder, n)
+	for i, l := range lps {
+		recPtrs[i] = &recs[i]
+		if l.end > res.EndTime {
+			res.EndTime = l.end
+		}
+	}
+	res.Waveform = trace.Merge(recPtrs...)
+	sink.Globals().GVTRounds = sh.rounds
+	res.Stats = stats.Collect(sink, time.Since(start))
+	return res, nil
+}
+
+// runCore is the conservative protocol over value type V: it derives the
+// LP graph, routes the pre-projected stimulus (or boot) events, runs the
+// LP goroutines (plus the coordinator in DeadlockRecovery mode) to
+// completion, and returns the finished LPs. Everything value-specific —
+// projection, recording, kernel construction, result assembly — lives in
+// the Run/RunWide wrappers.
+func runCore[V comparable](
+	c *circuit.Circuit,
+	until circuit.Tick,
+	cfg Config,
+	sink metrics.Sink,
+	engine string,
+	stimEvents, bootEvents []stimEvent[V],
+	seedState func(k *kernel.LPT[V]),
+	newKernel func(self int, own []circuit.GateID) *kernel.LPT[V],
+	record func(lp int, t circuit.Tick, g circuit.GateID, v V),
+) ([]*clp[V], *shared[V], error) {
+	p := cfg.Partition
+	n := p.Blocks
+	owner := p.Assign
+
+	sh := &shared[V]{cfg: cfg, engine: engine, boot: seedState != nil, c: c, until: until, sink: sink}
 	sh.coShard = cfg.Tracer.Shard("coordinator")
-	sh.inboxes = make([]mpsc.Transport[msg], n)
+	sh.inboxes = make([]mpsc.Transport[msg[V]], n)
 	for i := range sh.inboxes {
-		var tr mpsc.Transport[msg] = mpsc.NewCap[msg](64)
+		var tr mpsc.Transport[msg[V]] = mpsc.NewCap[msg[V]](64)
 		if cfg.Chaos != nil {
-			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta)
+			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta[V])
 		}
 		sh.inboxes[i] = tr
 	}
@@ -332,27 +415,27 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		totIn += inDeg[i]
 	}
 	var (
-		lpSlab      = make([]clp, n)
+		lpSlab      = make([]clp[V], n)
 		tickSlab    = make([]circuit.Tick, 2*n*n) // bound + last
 		boolSlab    = make([]bool, 2*n*n)         // reqd + awaiting
-		pendSlab    = make([][]msg, n*n)          // pend headers
+		pendSlab    = make([][]msg[V], n*n)       // pend headers
 		nullSlab    = make([]int, n*n)            // pendNull
 		pendDstSlab = make([]int, n*n)            // pendDst dirty lists
 		outSlab     = make([]outLink, totOut)
 		inSlab      = make([]int, totIn)
-		evsSlab     = make([]kernel.Event, n*64)
-		bufSlab     = make([]msg, n*64)
+		evsSlab     = make([]kernel.EventT[V], n*64)
+		bufSlab     = make([]msg[V], n*64)
 	)
 	for d := range nullSlab {
 		nullSlab[d] = -1
 	}
-	lps := make([]*clp, n)
+	lps := make([]*clp[V], n)
 	outOff, inOff := 0, 0
 	for i := 0; i < n; i++ {
 		l := &lpSlab[i]
 		l.id = i
 		l.sh = sh
-		l.q = eventq.NewCap[kernel.Event](cfg.Queue, 128)
+		l.q = eventq.NewCap[kernel.EventT[V]](cfg.Queue, 128)
 		l.bound = tickSlab[(2*i)*n : (2*i+1)*n : (2*i+1)*n]
 		l.last = tickSlab[(2*i+1)*n : (2*i+2)*n : (2*i+2)*n]
 		l.reqd = boolSlab[(2*i)*n : (2*i+1)*n : (2*i+1)*n]
@@ -369,19 +452,19 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		l.trsh = cfg.Tracer.Shard(fmt.Sprintf("lp %d", i))
 		outOff += outDeg[i]
 		inOff += inDeg[i]
-		l.k = kernel.New(c, owner, i, cfg.System, watched, blockGates[i])
-		l.k.Schedule = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
-			l.q.Push(uint64(t), kernel.Event{Gate: g, Value: v})
+		l.k = newKernel(i, blockGates[i])
+		l.k.Schedule = func(t circuit.Tick, g circuit.GateID, v V) {
+			l.q.Push(uint64(t), kernel.EventT[V]{Gate: g, Value: v})
 		}
-		l.k.Send = func(dst int, t circuit.Tick, g circuit.GateID, v logic.Value) {
+		l.k.Send = func(dst int, t circuit.Tick, g circuit.GateID, v V) {
 			sh.transit.Add(1)
-			l.buffer(dst, msg{kind: msgValue, from: l.id, time: t, gate: g, value: v})
+			l.buffer(dst, msg[V]{kind: msgValue, from: l.id, time: t, gate: g, value: v})
 		}
-		l.k.Record = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
-			l.rec.Record(t, g, v)
+		l.k.Record = func(t circuit.Tick, g circuit.GateID, v V) {
+			record(l.id, t, g, v)
 		}
-		if cfg.Boot != nil {
-			l.k.SeedState(cfg.Boot.Vals, cfg.Boot.PrevClk, cfg.Boot.Projected)
+		if seedState != nil {
+			seedState(l.k)
 		}
 		lps[i] = l
 	}
@@ -396,7 +479,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	// gate and to every LP that owns a consumer of it (ghost updates). The
 	// destination lists live in one flat CSR-style array indexed by input
 	// position, with a single reusable seen scratch — no per-input maps.
-	initial := make([][]kernel.Event, n)
+	initial := make([][]kernel.EventT[V], n)
 	idxOf := make([]int32, len(c.Gates))
 	deliverOff := make([]int32, len(c.Inputs)+1)
 	deliverDst := make([]int, 0, len(c.Inputs))
@@ -417,33 +500,33 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		}
 		deliverOff[ii+1] = int32(len(deliverDst))
 	}
-	if cfg.Boot == nil {
+	if seedState == nil {
 		initCnt := make([]int, n)
-		for _, ch := range stim.Changes {
-			if ch.Time != 0 {
+		for _, ch := range stimEvents {
+			if ch.time != 0 {
 				continue
 			}
-			ii := idxOf[ch.Input]
+			ii := idxOf[ch.gate]
 			for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
 				initCnt[dst]++
 			}
 		}
 		for dst, cnt := range initCnt {
 			if cnt > 0 {
-				initial[dst] = make([]kernel.Event, 0, cnt)
+				initial[dst] = make([]kernel.EventT[V], 0, cnt)
 			}
 		}
-		for _, ch := range stim.Changes {
-			if ch.Time > until {
+		for _, ch := range stimEvents {
+			if ch.time > until {
 				continue
 			}
-			ev := kernel.Event{Gate: ch.Input, Value: cfg.System.Project(ch.Value)}
-			ii := idxOf[ch.Input]
+			ev := kernel.EventT[V]{Gate: ch.gate, Value: ch.value}
+			ii := idxOf[ch.gate]
 			for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
-				if ch.Time == 0 {
+				if ch.time == 0 {
 					initial[dst] = append(initial[dst], ev)
 				} else {
-					lps[dst].q.Push(uint64(ch.Time), ev)
+					lps[dst].q.Push(uint64(ch.time), ev)
 				}
 			}
 		}
@@ -453,18 +536,18 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		// owning a consumer (the same ghost-update rule as stimulus
 		// routing); all times are strictly after the boundary, so nothing
 		// lands in the settle step.
-		for _, ev := range cfg.Boot.Events {
-			kev := kernel.Event{Gate: ev.Gate, Value: ev.Value}
-			seen[owner[ev.Gate]] = true
-			lps[owner[ev.Gate]].q.Push(ev.Time, kev)
-			for _, fo := range c.Fanout[ev.Gate] {
+		for _, ev := range bootEvents {
+			kev := kernel.EventT[V]{Gate: ev.gate, Value: ev.value}
+			seen[owner[ev.gate]] = true
+			lps[owner[ev.gate]].q.Push(uint64(ev.time), kev)
+			for _, fo := range c.Fanout[ev.gate] {
 				if b := owner[fo]; !seen[b] {
 					seen[b] = true
-					lps[b].q.Push(ev.Time, kev)
+					lps[b].q.Push(uint64(ev.time), kev)
 				}
 			}
-			seen[owner[ev.Gate]] = false
-			for _, fo := range c.Fanout[ev.Gate] {
+			seen[owner[ev.gate]] = false
+			for _, fo := range c.Fanout[ev.gate] {
 				seen[owner[fo]] = false
 			}
 		}
@@ -480,7 +563,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		}
 	}
 	wd := supervise.Watch(supervise.WatchConfig{
-		Engine: "cmb", Timeout: cfg.HangTimeout, Board: board,
+		Engine: engine, Timeout: cfg.HangTimeout, Board: board,
 		QueueDepth: func(i int) int { return sh.inboxes[i].Len() },
 		OnHang:     sh.fail,
 	})
@@ -489,7 +572,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	var wg gosync.WaitGroup
 	for _, l := range lps {
 		wg.Add(1)
-		go func(l *clp) {
+		go func(l *clp[V]) {
 			defer wg.Done()
 			// Panic isolation: one poisoned LP fails the run cleanly (the
 			// abort wakes and drains every sibling) instead of crashing the
@@ -497,20 +580,20 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			defer func() {
 				if r := recover(); r != nil {
 					l.slot.SetPhase(supervise.PhaseDone)
-					l.sh.fail(supervise.FromPanic("cmb", l.id, "run", l.lvt, r))
+					l.sh.fail(supervise.FromPanic(engine, l.id, "run", l.lvt, r))
 				}
 			}()
-			metrics.Do(sink, "cmb", l.id, "run", func() {
+			metrics.Do(sink, engine, l.id, "run", func() {
 				l.run(initial[l.id])
 			})
 		}(l)
 	}
 	var coordErr error
 	if cfg.Mode == DeadlockRecovery {
-		metrics.Do(sink, "cmb", -1, "coordinate", func() {
+		metrics.Do(sink, engine, -1, "coordinate", func() {
 			defer func() {
 				if r := recover(); r != nil {
-					coordErr = supervise.FromPanic("cmb", -1, "coordinate", 0, r)
+					coordErr = supervise.FromPanic(engine, -1, "coordinate", 0, r)
 					sh.abortAll()
 				}
 			}()
@@ -525,36 +608,21 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		ferr := sh.failErr
 		sh.failMu.Unlock()
 		if ferr != nil {
-			return nil, ferr
+			return nil, nil, ferr
 		}
 		if coordErr != nil {
-			return nil, coordErr
+			return nil, nil, coordErr
 		}
-		return nil, &supervise.SimError{
-			Engine: "cmb", LP: -1, Phase: "run", Kind: supervise.KindEventLimit,
+		return nil, nil, &supervise.SimError{
+			Engine: engine, LP: -1, Phase: "run", Kind: supervise.KindEventLimit,
 			Cause: fmt.Errorf("event limit %d exceeded", cfg.MaxEvents),
 		}
 	}
-
-	res := &Result{Values: make([]logic.Value, len(c.Gates))}
-	for g := range c.Gates {
-		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
-	}
-	recs := make([]*trace.Recorder, n)
-	for i, l := range lps {
-		recs[i] = &l.rec
-		if l.end > res.EndTime {
-			res.EndTime = l.end
-		}
-	}
-	res.Waveform = trace.Merge(recs...)
-	sink.Globals().GVTRounds = sh.rounds
-	res.Stats = stats.Collect(sink, time.Since(start))
-	return res, nil
+	return lps, sh, nil
 }
 
 // safeTime computes the time strictly below which this LP may process.
-func (l *clp) safeTime() circuit.Tick {
+func (l *clp[V]) safeTime() circuit.Tick {
 	if l.sh.cfg.Mode == DeadlockRecovery {
 		return l.safe
 	}
@@ -568,7 +636,7 @@ func (l *clp) safeTime() circuit.Tick {
 }
 
 // nextLocal returns the earliest pending event time (infTick if none).
-func (l *clp) nextLocal() circuit.Tick {
+func (l *clp[V]) nextLocal() circuit.Tick {
 	if t, ok := l.q.PeekTime(); ok {
 		return circuit.Tick(t)
 	}
@@ -578,7 +646,7 @@ func (l *clp) nextLocal() circuit.Tick {
 // promise computes the bound this LP can currently guarantee on a link
 // with the given lookahead: its earliest possible next processing time
 // plus the lookahead.
-func (l *clp) promise(la circuit.Tick) circuit.Tick {
+func (l *clp[V]) promise(la circuit.Tick) circuit.Tick {
 	e := l.nextLocal()
 	if s := l.safeTime(); s < e {
 		e = s
@@ -599,7 +667,7 @@ func (l *clp) promise(la circuit.Tick) circuit.Tick {
 // full before processing any event, so a value message that precedes the
 // strengthened promise inside the batch is enqueued before the new bound is
 // acted on, exactly as if both had arrived separately.
-func (l *clp) sendPromises(onlyRequested bool) {
+func (l *clp[V]) sendPromises(onlyRequested bool) {
 	for _, link := range l.out {
 		if onlyRequested && !l.reqd[link.dst] {
 			continue
@@ -617,17 +685,17 @@ func (l *clp) sendPromises(onlyRequested bool) {
 			continue
 		}
 		l.pendNull[link.dst] = len(l.pend[link.dst])
-		l.buffer(link.dst, msg{kind: msgNull, from: l.id, time: p})
+		l.buffer(link.dst, msg[V]{kind: msgNull, from: l.id, time: p})
 	}
 }
 
 // buffer queues one outgoing message for dst until the next flushSends.
 // Value messages count transit at their Send site (buffer time), so the
 // deadlock-recovery quiescence test cannot pass with unflushed batches.
-func (l *clp) buffer(dst int, m msg) {
+func (l *clp[V]) buffer(dst int, m msg[V]) {
 	if len(l.pend[dst]) == 0 {
 		if cap(l.pend[dst]) == 0 {
-			l.pend[dst] = make([]msg, 0, 96)
+			l.pend[dst] = make([]msg[V], 0, 96)
 		}
 		l.pendDst = append(l.pendDst, dst)
 	}
@@ -638,7 +706,7 @@ func (l *clp) buffer(dst int, m msg) {
 // preserving per-destination FIFO order. Every path into WaitDrain (and
 // termination) flushes first, so no message outlives its sender's
 // wakefulness inside a local batch.
-func (l *clp) flushSends() {
+func (l *clp[V]) flushSends() {
 	for _, dst := range l.pendDst {
 		l.sh.inboxes[dst].PutAll(l.pend[dst])
 		l.pend[dst] = l.pend[dst][:0]
@@ -648,21 +716,21 @@ func (l *clp) flushSends() {
 }
 
 // handle processes one inbound message; it returns false on terminate.
-func (l *clp) handle(m msg) bool {
+func (l *clp[V]) handle(m msg[V]) bool {
 	switch m.kind {
 	case msgValue:
 		l.sh.transit.Add(-1)
 		l.st.MessagesRecv++
 		if m.time < l.lvt {
 			l.sh.fail(&supervise.SimError{
-				Engine: "cmb", LP: l.id, Phase: "handle", ModeledTime: l.lvt,
+				Engine: l.sh.engine, LP: l.id, Phase: "handle", ModeledTime: l.lvt,
 				Kind: supervise.KindCausality,
 				Cause: fmt.Errorf("causality violation: lp %d received value for t=%d from lp %d after processing t=%d",
 					l.id, m.time, m.from, l.lvt),
 			})
 			return false
 		}
-		l.q.Push(uint64(m.time), kernel.Event{Gate: m.gate, Value: m.value})
+		l.q.Push(uint64(m.time), kernel.EventT[V]{Gate: m.gate, Value: m.value})
 	case msgNull:
 		l.st.NullsRecv++
 		l.awaiting[m.from] = false
@@ -682,13 +750,13 @@ func (l *clp) handle(m msg) bool {
 }
 
 // run is the LP goroutine body.
-func (l *clp) run(initialEvents []kernel.Event) {
+func (l *clp[V]) run(initialEvents []kernel.EventT[V]) {
 	detect := l.sh.cfg.Mode == DeadlockRecovery
 	demand := l.sh.cfg.Mode == NullDemand
 	l.slot.SetPhase(supervise.PhaseRun)
 	defer l.slot.SetPhase(supervise.PhaseDone)
 
-	if l.sh.cfg.Boot == nil {
+	if !l.sh.boot {
 		// Time-zero settling step (skipped on restore: the checkpoint's
 		// state is already settled).
 		begin := l.trsh.Now()
@@ -747,7 +815,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 		}
 		if err := l.q.Err(); err != nil {
 			l.sh.fail(&supervise.SimError{
-				Engine: "cmb", LP: l.id, Phase: "eventq", ModeledTime: l.lvt,
+				Engine: l.sh.engine, LP: l.id, Phase: "eventq", ModeledTime: l.lvt,
 				Kind: supervise.KindCausality, Cause: err,
 			})
 			return
@@ -777,7 +845,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 					continue
 				}
 				l.awaiting[src] = true
-				l.buffer(src, msg{kind: msgRequest, from: l.id})
+				l.buffer(src, msg[V]{kind: msgRequest, from: l.id})
 			}
 		}
 		// About to park: everything buffered — values, folded promises,
@@ -826,7 +894,7 @@ func (l *clp) run(initialEvents []kernel.Event) {
 // hook's hang fault here guarantees an injected permanent stall cannot
 // outlive the abort: the watchdog fires, fail() lands here, and the
 // parked LP goroutine is unblocked so wg.Wait always returns.
-func (sh *shared) abortAll() {
+func (sh *shared[V]) abortAll() {
 	sh.abort.Store(true)
 	sh.cfg.Chaos.Release()
 	for _, ib := range sh.inboxes {
@@ -840,7 +908,7 @@ func (sh *shared) abortAll() {
 // were being read), then either grants a permit advancing the safe time to
 // the global minimum pending event or, when nothing remains inside the
 // horizon, terminates the run.
-func coordinate(sh *shared, lps []*clp) error {
+func coordinate[V comparable](sh *shared[V], lps []*clp[V]) error {
 	n := len(lps)
 	gens := make([]uint64, n)
 	quiet := func() bool {
@@ -878,14 +946,14 @@ func coordinate(sh *shared, lps []*clp) error {
 		}
 		if gmin > sh.until {
 			for _, ib := range sh.inboxes {
-				ib.Put(msg{kind: msgTerminate})
+				ib.Put(msg[V]{kind: msgTerminate})
 			}
 			return nil
 		}
 		sh.rounds++
 		roundBegin := sh.coShard.Now()
 		for _, ib := range sh.inboxes {
-			ib.Put(msg{kind: msgPermit, time: gmin})
+			ib.Put(msg[V]{kind: msgPermit, time: gmin})
 		}
 		sh.coShard.Span(trace.PhaseGVT, roundBegin, gmin)
 		// Wait until every LP has observably woken (its generation moved

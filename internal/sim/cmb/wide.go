@@ -1,0 +1,106 @@
+package cmb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/sim/kernel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// WideResult is the outcome of a wide conservative run.
+type WideResult struct {
+	Values   []logic.Word
+	Waveform trace.WideWaveform
+	EndTime  circuit.Tick
+	Lanes    int
+	Stats    stats.RunStats
+}
+
+// RunWide is the conservative engine on 64 packed lanes: the identical
+// null-message / deadlock-recovery protocol with every value message and
+// event carrying a whole 64-lane word. Inside each LP the kernel's
+// oblivious block sweep is armed: when the (lane-union) dirty set reaches
+// half the LP's block, the step evaluates the whole owned block in
+// levelized order obliviously-wide instead of walking the event-driven
+// selection machinery — scalar event semantics at LP boundaries, batch
+// evaluation inside. Per lane, the result is bit-identical to a scalar
+// conservative run of that lane's stimulus.
+//
+// The wide path does not support checkpoint boot or chaos injection; those
+// Config fields must be unset.
+func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick, cfg Config) (*WideResult, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("cmb: Config.Partition is required")
+	}
+	if err := cfg.Partition.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if cfg.Boot != nil {
+		return nil, fmt.Errorf("cmb: wide runs do not support checkpoint boot")
+	}
+	if cfg.Chaos != nil {
+		return nil, fmt.Errorf("cmb: wide runs do not support chaos injection")
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.FourValued
+	}
+	if err := logic.CheckWide(cfg.System); err != nil {
+		return nil, err
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("cmb-wide-" + cfg.Mode.String())
+	}
+	start := time.Now()
+
+	stimEvents := make([]stimEvent[logic.Word], 0, len(stim.Changes))
+	for _, ch := range stim.Changes {
+		stimEvents = append(stimEvents, stimEvent[logic.Word]{ch.Time, ch.Input, ch.Word})
+	}
+
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+	n := cfg.Partition.Blocks
+	recs := make([]trace.WideRecorder, n)
+	lps, sh, err := runCore(c, until, cfg, sink, "cmb-wide",
+		stimEvents, nil, nil,
+		func(self int, own []circuit.GateID) *kernel.WideLP {
+			k := kernel.NewWide(c, cfg.Partition.Assign, self, cfg.System, watched, own)
+			k.EnableSweep(kernel.SweepThreshold(len(own)))
+			return k
+		},
+		func(lp int, t circuit.Tick, g circuit.GateID, v logic.Word) {
+			recs[lp].Record(t, g, v)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WideResult{Values: make([]logic.Word, len(c.Gates)), Lanes: stim.Lanes}
+	owner := cfg.Partition.Assign
+	for g := range c.Gates {
+		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
+	}
+	recPtrs := make([]*trace.WideRecorder, n)
+	for i, l := range lps {
+		recPtrs[i] = &recs[i]
+		if l.end > res.EndTime {
+			res.EndTime = l.end
+		}
+	}
+	res.Waveform = trace.MergeWide(recPtrs...)
+	sink.Globals().GVTRounds = sh.rounds
+	res.Stats = stats.Collect(sink, time.Since(start))
+	return res, nil
+}

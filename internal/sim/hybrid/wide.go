@@ -1,0 +1,110 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/sim/timewarp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// WideResult is the outcome of a wide hybrid run.
+type WideResult struct {
+	Values   []logic.Word
+	Waveform trace.WideWaveform
+	EndTime  circuit.Tick
+	Lanes    int
+	Stats    stats.RunStats
+	// IntraCritical is each cluster's modeled intra-cluster critical path.
+	IntraCritical []float64
+	cost          stats.CostModel
+	intraWorkers  int
+}
+
+// RunWide is the hierarchical engine on 64 packed lanes: clusters
+// synchronize optimistically with whole-word Time Warp messages while each
+// cluster's sub-workers evaluate the per-timestep dirty set wide. With the
+// kernel's oblivious block sweep armed inside each cluster, a saturated
+// step processes the cluster's whole combinational block across 64 vectors
+// behind one barrier pair.
+//
+// The wide path does not support checkpoint boot or chaos injection; those
+// Config fields must be unset.
+func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick, cfg Config) (*WideResult, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("hybrid: Config.Partition is required")
+	}
+	if cfg.IntraWorkers < 1 {
+		cfg.IntraWorkers = 1
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+	workers := cfg.IntraWorkers
+	if workers == 1 {
+		workers = 2 // still exercise the parallel step path in degenerate runs
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("hybrid-wide")
+	}
+	res, err := timewarp.RunWide(c, stim, until, timewarp.Config{
+		Partition:    cfg.Partition,
+		Cancellation: cfg.Cancellation,
+		StateSaving:  cfg.StateSaving,
+		Window:       cfg.Window,
+		IntraWorkers: workers,
+		Cost:         cfg.Cost,
+		System:       cfg.System,
+		Watch:        cfg.Watch,
+		MaxEvents:    cfg.MaxEvents,
+		Metrics:      sink,
+		Tracer:       cfg.Tracer,
+		Chaos:        cfg.Chaos,
+		HangTimeout:  cfg.HangTimeout,
+		HistoryLimit: cfg.HistoryLimit,
+		Boot:         cfg.Boot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WideResult{
+		Values:        res.Values,
+		Waveform:      res.Waveform,
+		EndTime:       res.EndTime,
+		Lanes:         res.Lanes,
+		Stats:         res.Stats,
+		IntraCritical: res.IntraCritical,
+		cost:          cfg.Cost,
+		intraWorkers:  cfg.IntraWorkers,
+	}, nil
+}
+
+// TotalProcessors reports the modeled machine size: clusters times
+// intra-cluster workers.
+func (r *WideResult) TotalProcessors() int {
+	return len(r.Stats.LPs) * r.intraWorkers
+}
+
+// ModeledTime prices the run exactly as the scalar hybrid result does.
+func (r *WideResult) ModeledTime() float64 {
+	m := r.cost
+	var worst float64
+	for i, lp := range r.Stats.LPs {
+		overhead := m.Busy(lp) - m.EvalCost*float64(lp.Evaluations)
+		t := overhead
+		if i < len(r.IntraCritical) {
+			t += r.IntraCritical[i]
+		} else {
+			t += m.EvalCost * float64(lp.Evaluations)
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst + float64(r.Stats.GVTRounds)*m.GVT(len(r.Stats.LPs))
+}

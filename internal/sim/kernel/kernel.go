@@ -12,6 +12,15 @@
 // Steps can capture an undo log of every state write, which is exactly the
 // incremental state saving Time Warp needs: rolling back a step replays its
 // undo log in reverse.
+//
+// The executor is generic over the value type V: logic.Value for the
+// scalar engines (the LP/Event/Undo aliases preserve that API), and
+// logic.Word for the wide engines, where every event carries 64 packed
+// vector lanes and one Step evaluates 64 vectors per gate op. The
+// protocol-visible behavior is identical in both instantiations — an event
+// fires when the word differs in any lane, a superset of each lane's
+// scalar events, and gate evaluation is idempotent under unchanged inputs,
+// so each lane of a wide run reproduces the scalar run exactly.
 package kernel
 
 import (
@@ -22,81 +31,114 @@ import (
 	"repro/internal/metrics"
 )
 
-// Event is one net value change to apply.
-type Event struct {
+// EventT is one net value change to apply, carrying a scalar value or a
+// 64-lane word depending on the instantiation.
+type EventT[V comparable] struct {
 	Gate  circuit.GateID
-	Value logic.Value
+	Value V
 }
+
+// Event is the scalar event type used by the one-vector-per-op engines.
+type Event = EventT[logic.Value]
+
+// WideEvent is the 64-lane event type used by the wide engines.
+type WideEvent = EventT[logic.Word]
 
 // valChange records a single state write for rollback.
-type valChange struct {
+type valChange[V comparable] struct {
 	gate circuit.GateID
-	old  logic.Value
+	old  V
 }
 
-// Undo is the inverse of one Step: replaying it restores the LP state to
-// the instant before the step ran.
-type Undo struct {
-	vals  []valChange
-	clks  []valChange
-	projs []valChange
+// UndoT is the inverse of one Step: replaying it restores the LP state to
+// the instant before the step ran. In the wide instantiation each entry
+// snapshots a whole 64-lane word.
+type UndoT[V comparable] struct {
+	vals  []valChange[V]
+	clks  []valChange[V]
+	projs []valChange[V]
 }
+
+// Undo is the scalar undo log.
+type Undo = UndoT[logic.Value]
+
+// WideUndo is the wide undo log; one entry restores all 64 lanes of a net.
+type WideUndo = UndoT[logic.Word]
 
 // Words reports the saved state volume in value-words, the quantity the
 // cost model prices for state saving.
-func (u *Undo) Words() uint64 {
+func (u *UndoT[V]) Words() uint64 {
 	return uint64(len(u.vals) + len(u.clks) + len(u.projs))
 }
 
-// NewUndo returns an undo log with pre-grown log capacity, so pooled
+// NewUndoOf returns an undo log with pre-grown log capacity, so pooled
 // records born on a free-list miss skip the append growth chain and land
 // near their steady-state size immediately.
-func NewUndo(vals, clks, projs int) *Undo {
-	return &Undo{
-		vals:  make([]valChange, 0, vals),
-		clks:  make([]valChange, 0, clks),
-		projs: make([]valChange, 0, projs),
+func NewUndoOf[V comparable](vals, clks, projs int) *UndoT[V] {
+	return &UndoT[V]{
+		vals:  make([]valChange[V], 0, vals),
+		clks:  make([]valChange[V], 0, clks),
+		projs: make([]valChange[V], 0, projs),
 	}
 }
 
+// NewUndo is NewUndoOf for the scalar instantiation.
+func NewUndo(vals, clks, projs int) *Undo {
+	return NewUndoOf[logic.Value](vals, clks, projs)
+}
+
 // Reset clears the undo for reuse.
-func (u *Undo) Reset() {
+func (u *UndoT[V]) Reset() {
 	u.vals = u.vals[:0]
 	u.clks = u.clks[:0]
 	u.projs = u.projs[:0]
 }
 
-// LP is the state of one logical process.
-type LP struct {
+// EvalFunc computes gate id against the val/prevClk planes, reusing
+// scratch as the fanin buffer. circuit.EvalGate and circuit.EvalGateWide
+// are the two instantiations.
+type EvalFunc[V comparable] func(c *circuit.Circuit, id circuit.GateID, val, prevClk []V, scratch []V) (out, clkSample V, buf []V)
+
+// LPT is the state of one logical process over value type V.
+type LPT[V comparable] struct {
 	// Self is this LP's block index; Owner maps gate -> block.
 	Self  int
 	Owner []int
 
 	c         *circuit.Circuit
-	val       []logic.Value
-	prevClk   []logic.Value
-	projected []logic.Value
+	val       []V
+	prevClk   []V
+	projected []V
 	isWatched []bool
 	ownGates  []circuit.GateID
+	eval      EvalFunc[V]
 
 	stamp   []uint64
 	epoch   uint64
 	dirty   []circuit.GateID
-	scratch []logic.Value
+	scratch []V
 	dstSeen []bool
 
+	sweep      int
+	sweepGates []circuit.GateID
+
 	// Schedule receives locally owned future events (time, gate, value).
-	Schedule func(t circuit.Tick, g circuit.GateID, v logic.Value)
+	Schedule func(t circuit.Tick, g circuit.GateID, v V)
 	// Send receives cross-LP messages (destination, time, gate, value).
-	Send func(dst int, t circuit.Tick, g circuit.GateID, v logic.Value)
+	Send func(dst int, t circuit.Tick, g circuit.GateID, v V)
 	// Record receives committed watched-net changes.
-	Record func(t circuit.Tick, g circuit.GateID, v logic.Value)
+	Record func(t circuit.Tick, g circuit.GateID, v V)
 }
 
-// New builds an LP executor for block self of the partition-owner map.
-func New(c *circuit.Circuit, owner []int, self int, sys logic.System, watched []circuit.GateID, ownGates []circuit.GateID) *LP {
-	val, prevClk := circuit.InitState(c, sys)
-	projected := make([]logic.Value, len(val))
+// LP is the scalar logical-process executor.
+type LP = LPT[logic.Value]
+
+// WideLP is the 64-lane logical-process executor.
+type WideLP = LPT[logic.Word]
+
+// newLP wires the common LP fields around pre-built state planes.
+func newLP[V comparable](c *circuit.Circuit, owner []int, self int, val, prevClk []V, eval EvalFunc[V], watched []circuit.GateID, ownGates []circuit.GateID) *LPT[V] {
+	projected := make([]V, len(val))
 	copy(projected, val)
 	isWatched := make([]bool, len(c.Gates))
 	for _, g := range watched {
@@ -108,7 +150,7 @@ func New(c *circuit.Circuit, owner []int, self int, sys logic.System, watched []
 			nBlocks = o + 1
 		}
 	}
-	return &LP{
+	return &LPT[V]{
 		Self:      self,
 		Owner:     owner,
 		c:         c,
@@ -117,25 +159,97 @@ func New(c *circuit.Circuit, owner []int, self int, sys logic.System, watched []
 		projected: projected,
 		isWatched: isWatched,
 		ownGates:  ownGates,
+		eval:      eval,
 		stamp:     make([]uint64, len(c.Gates)),
 		dirty:     make([]circuit.GateID, 0, 64),
-		scratch:   make([]logic.Value, 0, 8),
+		scratch:   make([]V, 0, 8),
 		dstSeen:   make([]bool, nBlocks),
 	}
 }
 
+// New builds a scalar LP executor for block self of the partition-owner map.
+func New(c *circuit.Circuit, owner []int, self int, sys logic.System, watched []circuit.GateID, ownGates []circuit.GateID) *LP {
+	val, prevClk := circuit.InitState(c, sys)
+	return newLP(c, owner, self, val, prevClk, circuit.EvalGate, watched, ownGates)
+}
+
+// NewWide builds a 64-lane LP executor: same ownership and two-phase
+// semantics, but every net holds a packed word and each evaluation
+// processes 64 vectors.
+func NewWide(c *circuit.Circuit, owner []int, self int, sys logic.System, watched []circuit.GateID, ownGates []circuit.GateID) *WideLP {
+	val, prevClk := circuit.InitStateWide(c, sys)
+	return newLP(c, owner, self, val, prevClk, circuit.EvalGateWide, watched, ownGates)
+}
+
+// EnableSweep arms the oblivious block sweep: whenever a step's dirty set
+// reaches threshold gates, the evaluation phase abandons event-driven
+// selection and sweeps the LP's whole owned block in levelized order
+// instead. The sweep is exact — evaluation against settled inputs is
+// idempotent and the projected-value filter suppresses events for
+// unchanged outputs — so it only trades bookkeeping for raw evaluation.
+// Wide LPs use it: with 64 packed vector lanes a net fires when any lane
+// changes, so the dirty set saturates toward the whole block and the
+// per-gate selection machinery (stamps, fanout walks) costs more than
+// obliviously evaluating everything 64 vectors at a time. A threshold
+// <= 0 disables the sweep (the scalar engines' configuration).
+func (lp *LPT[V]) EnableSweep(threshold int) {
+	lp.sweep = threshold
+	if threshold <= 0 || lp.sweepGates != nil {
+		return
+	}
+	own := make([]bool, len(lp.c.Gates))
+	for _, g := range lp.ownGates {
+		own[g] = true
+	}
+	if levels, err := lp.c.Levelize(); err == nil {
+		for _, level := range levels {
+			for _, g := range level {
+				if own[g] && !lp.c.Gates[g].Kind.Source() {
+					lp.sweepGates = append(lp.sweepGates, g)
+				}
+			}
+		}
+		return
+	}
+	for _, g := range lp.ownGates {
+		if !lp.c.Gates[g].Kind.Source() {
+			lp.sweepGates = append(lp.sweepGates, g)
+		}
+	}
+}
+
+// SweepThreshold is the shared policy for arming the oblivious sweep on a
+// block of the given size: sweep once the dirty set covers half the block,
+// but never on trivially small blocks where the event-driven bookkeeping
+// is already cheap.
+func SweepThreshold(blockSize int) int {
+	t := blockSize / 2
+	if t < 8 {
+		t = 8
+	}
+	return t
+}
+
+// applySweep swaps the dirty set for the full levelized block when the
+// sweep is armed and the threshold is met.
+func (lp *LPT[V]) applySweep() {
+	if lp.sweep > 0 && len(lp.dirty) >= lp.sweep {
+		lp.dirty = append(lp.dirty[:0], lp.sweepGates...)
+	}
+}
+
 // Value returns the LP's current view of a net.
-func (lp *LP) Value(g circuit.GateID) logic.Value { return lp.val[g] }
+func (lp *LPT[V]) Value(g circuit.GateID) V { return lp.val[g] }
 
 // Values exposes the full ghost state (for final-state assembly).
-func (lp *LP) Values() []logic.Value { return lp.val }
+func (lp *LPT[V]) Values() []V { return lp.val }
 
 // SeedState overwrites the LP's three value planes from a checkpoint.
 // The planes are full-size (ghost copies included), so seeding every LP
 // with the same globally consistent snapshot reproduces exactly the
 // ghost views a live run would have at that boundary. Engines call it
 // before processing any event when restoring.
-func (lp *LP) SeedState(vals, prevClk, projected []logic.Value) {
+func (lp *LPT[V]) SeedState(vals, prevClk, projected []V) {
 	copy(lp.val, vals)
 	copy(lp.prevClk, prevClk)
 	copy(lp.projected, projected)
@@ -144,7 +258,7 @@ func (lp *LP) SeedState(vals, prevClk, projected []logic.Value) {
 // Step applies the events for time t, then evaluates affected owned gates.
 // When undo is non-nil every state write is logged into it. Counters are
 // accumulated into st.
-func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st *metrics.LPCounters) {
+func (lp *LPT[V]) Step(t circuit.Tick, events []EventT[V], initial bool, undo *UndoT[V], st *metrics.LPCounters) {
 	lp.epoch++
 	lp.dirty = lp.dirty[:0]
 	st.Steps++
@@ -155,7 +269,7 @@ func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st 
 			continue
 		}
 		if undo != nil {
-			undo.vals = append(undo.vals, valChange{ev.Gate, lp.val[ev.Gate]})
+			undo.vals = append(undo.vals, valChange[V]{ev.Gate, lp.val[ev.Gate]})
 		}
 		lp.val[ev.Gate] = ev.Value
 		if lp.Owner[ev.Gate] == lp.Self && lp.isWatched[ev.Gate] && lp.Record != nil {
@@ -178,15 +292,17 @@ func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st 
 				lp.dirty = append(lp.dirty, g)
 			}
 		}
+	} else {
+		lp.applySweep()
 	}
 
 	for _, g := range lp.dirty {
-		var out, clkSample logic.Value
-		out, clkSample, lp.scratch = circuit.EvalGate(lp.c, g, lp.val, lp.prevClk, lp.scratch)
+		var out, clkSample V
+		out, clkSample, lp.scratch = lp.eval(lp.c, g, lp.val, lp.prevClk, lp.scratch)
 		st.Evaluations++
 		if clkSample != lp.prevClk[g] {
 			if undo != nil {
-				undo.clks = append(undo.clks, valChange{g, lp.prevClk[g]})
+				undo.clks = append(undo.clks, valChange[V]{g, lp.prevClk[g]})
 			}
 			lp.prevClk[g] = clkSample
 		}
@@ -194,7 +310,7 @@ func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st 
 			continue
 		}
 		if undo != nil {
-			undo.projs = append(undo.projs, valChange{g, lp.projected[g]})
+			undo.projs = append(undo.projs, valChange[V]{g, lp.projected[g]})
 		}
 		lp.projected[g] = out
 		due := t + lp.c.Gates[g].Delay
@@ -227,7 +343,7 @@ func (lp *LP) Step(t circuit.Tick, events []Event, initial bool, undo *Undo, st 
 // This is the paper's hierarchical synchronization: barrier-synchronous
 // evaluation inside a cluster, with whatever protocol the caller runs
 // between clusters.
-func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *Undo, st *metrics.LPCounters, workers int, outBuf, clkBuf []logic.Value) (maxChunk int) {
+func (lp *LPT[V]) StepParallel(t circuit.Tick, events []EventT[V], initial bool, undo *UndoT[V], st *metrics.LPCounters, workers int, outBuf, clkBuf []V) (maxChunk int) {
 	lp.epoch++
 	lp.dirty = lp.dirty[:0]
 	st.Steps++
@@ -238,7 +354,7 @@ func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *U
 			continue
 		}
 		if undo != nil {
-			undo.vals = append(undo.vals, valChange{ev.Gate, lp.val[ev.Gate]})
+			undo.vals = append(undo.vals, valChange[V]{ev.Gate, lp.val[ev.Gate]})
 		}
 		lp.val[ev.Gate] = ev.Value
 		if lp.Owner[ev.Gate] == lp.Self && lp.isWatched[ev.Gate] && lp.Record != nil {
@@ -261,6 +377,8 @@ func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *U
 				lp.dirty = append(lp.dirty, g)
 			}
 		}
+	} else {
+		lp.applySweep()
 	}
 	if len(lp.dirty) == 0 {
 		return 0
@@ -288,9 +406,9 @@ func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *U
 		wg.Add(1)
 		go func(gs []circuit.GateID) {
 			defer wg.Done()
-			var scratch []logic.Value
+			var scratch []V
 			for _, g := range gs {
-				out, cs, buf := circuit.EvalGate(lp.c, g, lp.val, lp.prevClk, scratch)
+				out, cs, buf := lp.eval(lp.c, g, lp.val, lp.prevClk, scratch)
 				scratch = buf
 				outBuf[g] = out
 				clkBuf[g] = cs
@@ -305,7 +423,7 @@ func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *U
 		out, clkSample := outBuf[g], clkBuf[g]
 		if clkSample != lp.prevClk[g] {
 			if undo != nil {
-				undo.clks = append(undo.clks, valChange{g, lp.prevClk[g]})
+				undo.clks = append(undo.clks, valChange[V]{g, lp.prevClk[g]})
 			}
 			lp.prevClk[g] = clkSample
 		}
@@ -313,7 +431,7 @@ func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *U
 			continue
 		}
 		if undo != nil {
-			undo.projs = append(undo.projs, valChange{g, lp.projected[g]})
+			undo.projs = append(undo.projs, valChange[V]{g, lp.projected[g]})
 		}
 		lp.projected[g] = out
 		due := t + lp.c.Gates[g].Delay
@@ -337,7 +455,7 @@ func (lp *LP) StepParallel(t circuit.Tick, events []Event, initial bool, undo *U
 
 // Rollback undoes a sequence of steps by replaying their undo logs in
 // reverse order (most recent first).
-func (lp *LP) Rollback(undos []*Undo, st *metrics.LPCounters) {
+func (lp *LPT[V]) Rollback(undos []*UndoT[V], st *metrics.LPCounters) {
 	for i := len(undos) - 1; i >= 0; i-- {
 		u := undos[i]
 		for j := len(u.projs) - 1; j >= 0; j-- {
@@ -353,23 +471,29 @@ func (lp *LP) Rollback(undos []*Undo, st *metrics.LPCounters) {
 	}
 }
 
-// Snapshot copies the LP-relevant state (own gates and ghost nets) for
+// SnapshotT copies the LP-relevant state (own gates and ghost nets) for
 // full-copy state saving. The returned slices are keyed by position in
 // relevant; Restore reverses it.
-type Snapshot struct {
-	val     []logic.Value
-	prevClk []logic.Value
-	proj    []logic.Value
+type SnapshotT[V comparable] struct {
+	val     []V
+	prevClk []V
+	proj    []V
 }
 
+// Snapshot is the scalar snapshot.
+type Snapshot = SnapshotT[logic.Value]
+
+// WideSnapshot is the 64-lane snapshot.
+type WideSnapshot = SnapshotT[logic.Word]
+
 // Words reports the snapshot volume in value-words.
-func (s *Snapshot) Words() uint64 {
+func (s *SnapshotT[V]) Words() uint64 {
 	return uint64(len(s.val) + len(s.prevClk) + len(s.proj))
 }
 
 // RelevantNets lists the nets whose state matters to this LP: its own
 // gates plus every remote net an owned gate reads.
-func (lp *LP) RelevantNets() []circuit.GateID {
+func (lp *LPT[V]) RelevantNets() []circuit.GateID {
 	seen := make(map[circuit.GateID]bool)
 	var nets []circuit.GateID
 	for _, g := range lp.ownGates {
@@ -388,7 +512,7 @@ func (lp *LP) RelevantNets() []circuit.GateID {
 }
 
 // TakeSnapshot captures the state of the given nets.
-func (lp *LP) TakeSnapshot(nets []circuit.GateID, into *Snapshot) {
+func (lp *LPT[V]) TakeSnapshot(nets []circuit.GateID, into *SnapshotT[V]) {
 	into.val = resize(into.val, len(nets))
 	into.prevClk = resize(into.prevClk, len(nets))
 	into.proj = resize(into.proj, len(nets))
@@ -400,7 +524,7 @@ func (lp *LP) TakeSnapshot(nets []circuit.GateID, into *Snapshot) {
 }
 
 // RestoreSnapshot writes a snapshot back.
-func (lp *LP) RestoreSnapshot(nets []circuit.GateID, s *Snapshot) {
+func (lp *LPT[V]) RestoreSnapshot(nets []circuit.GateID, s *SnapshotT[V]) {
 	for i, g := range nets {
 		lp.val[g] = s.val[i]
 		lp.prevClk[g] = s.prevClk[i]
@@ -408,9 +532,9 @@ func (lp *LP) RestoreSnapshot(nets []circuit.GateID, s *Snapshot) {
 	}
 }
 
-func resize(buf []logic.Value, n int) []logic.Value {
+func resize[V comparable](buf []V, n int) []V {
 	if cap(buf) < n {
-		return make([]logic.Value, n)
+		return make([]V, n)
 	}
 	return buf[:n]
 }

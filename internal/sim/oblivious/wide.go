@@ -1,0 +1,216 @@
+package oblivious
+
+import (
+	"fmt"
+	gosync "sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/sim/supervise"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// WideResult is the outcome of a wide oblivious run.
+type WideResult struct {
+	// Values holds the settled packed value of every net after the last
+	// boundary.
+	Values []logic.Word
+	// Waveform holds the settled whole-word values of watched nets sampled
+	// at each boundary where any lane changed.
+	Waveform trace.WideWaveform
+	// Cycles is the number of boundaries evaluated.
+	Cycles int
+	// Lanes is the meaningful lane count, copied from the stimulus.
+	Lanes int
+	Stats  stats.RunStats
+}
+
+// RunWide is the levelized compiled-mode sweep over 64 packed lanes: at
+// every stimulus boundary every gate is evaluated once on all 64 vectors —
+// the evaluation order (sequential elements first, then combinational
+// levels) is identical to the scalar Run, so each lane settles to exactly
+// the scalar oblivious result for that lane's stimulus. This is the purest
+// form of the wide win: the per-boundary evaluation count is unchanged
+// while the vector throughput is multiplied by the lane count.
+func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, cfg Config) (*WideResult, error) {
+	if cfg.System == 0 {
+		cfg.System = logic.FourValued
+	}
+	if err := logic.CheckWide(cfg.System); err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("oblivious-wide")
+	}
+	st := c.ComputeStats()
+	if st.Latches > 0 {
+		return nil, fmt.Errorf("oblivious: transparent latches are not supported by cycle-based evaluation")
+	}
+	levels, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	val, prevClk := circuit.InitStateWide(c, cfg.System)
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+
+	var seqGates []circuit.GateID
+	combLevels := levels
+	if st.FlipFlops > 0 && len(levels) > 0 {
+		last := levels[len(levels)-1]
+		allSeq := true
+		for _, g := range last {
+			if !c.Gates[g].Kind.Sequential() {
+				allSeq = false
+			}
+		}
+		if allSeq {
+			seqGates = last
+			combLevels = levels[:len(levels)-1]
+		}
+	}
+
+	res := &WideResult{Lanes: stim.Lanes}
+	blocks := make([]*metrics.LPBlock, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		blocks[w] = sink.LP(w)
+	}
+	globals := sink.Globals()
+	var rec trace.WideRecorder
+	// lastRec dedupes boundary samples at whole-word granularity; per-lane
+	// deduplication happens in WideWaveform.Lane.
+	lastRec := make([]logic.Word, len(c.Gates))
+	for id := range lastRec {
+		lastRec[id] = circuit.InitialWide(c.Gates[id].Kind, cfg.System)
+	}
+
+	type boundary struct {
+		t       circuit.Tick
+		changes []vectors.WideChange
+	}
+	var bounds []boundary
+	for _, ch := range stim.Changes {
+		if len(bounds) == 0 || bounds[len(bounds)-1].t != ch.Time {
+			bounds = append(bounds, boundary{t: ch.Time})
+		}
+		bounds[len(bounds)-1].changes = append(bounds[len(bounds)-1].changes, ch)
+	}
+
+	newQ := make([]logic.Word, len(c.Gates))
+	newClk := make([]logic.Word, len(c.Gates))
+	evalSlice := func(w int, gates []circuit.GateID, scratch *[]logic.Word) {
+		for _, g := range gates {
+			out, cs, buf := circuit.EvalGateWide(c, g, val, prevClk, *scratch)
+			*scratch = buf
+			newQ[g] = out
+			newClk[g] = cs
+			blocks[w].Evaluations++
+		}
+	}
+	scratches := make([][]logic.Word, cfg.Workers)
+
+	var failMu gosync.Mutex
+	var failErr error
+	setFail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+
+	runLevel := func(t circuit.Tick, gates []circuit.GateID) {
+		if cfg.Workers == 1 || len(gates) < 2*cfg.Workers {
+			evalSlice(0, gates, &scratches[0])
+		} else {
+			var wg gosync.WaitGroup
+			chunk := (len(gates) + cfg.Workers - 1) / cfg.Workers
+			for w := 0; w < cfg.Workers; w++ {
+				lo := w * chunk
+				if lo >= len(gates) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(gates) {
+					hi = len(gates)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							setFail(supervise.FromPanic("oblivious-wide", w, "eval", t, r))
+						}
+					}()
+					metrics.Do(sink, "oblivious-wide", w, "eval", func() {
+						evalSlice(w, gates[lo:hi], &scratches[w])
+					})
+				}(w, lo, hi)
+			}
+			wg.Wait()
+		}
+		globals.Barriers++
+		maxChunk := len(gates)
+		if cfg.Workers > 1 {
+			maxChunk = (len(gates) + cfg.Workers - 1) / cfg.Workers
+		}
+		globals.ModeledCriticalNs += float64(maxChunk) * cfg.Cost.EvalCost
+		for _, g := range gates {
+			val[g] = newQ[g]
+			prevClk[g] = newClk[g]
+		}
+	}
+
+	for _, b := range bounds {
+		failMu.Lock()
+		err := failErr
+		failMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles++
+		blocks[0].Steps++
+		for _, ch := range b.changes {
+			val[ch.Input] = ch.Word
+		}
+		if len(seqGates) > 0 {
+			runLevel(b.t, seqGates)
+		}
+		for _, level := range combLevels {
+			runLevel(b.t, level)
+		}
+		for _, g := range watched {
+			if val[g] != lastRec[g] {
+				lastRec[g] = val[g]
+				rec.Record(b.t, g, val[g])
+			}
+		}
+	}
+
+	failMu.Lock()
+	ferr := failErr
+	failMu.Unlock()
+	if ferr != nil {
+		return nil, ferr
+	}
+
+	res.Values = val
+	res.Waveform = trace.MergeWide(&rec)
+	res.Stats = stats.Collect(sink, time.Since(start))
+	return res, nil
+}

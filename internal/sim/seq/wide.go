@@ -1,0 +1,218 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/sim/supervise"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// WideConfig parameterizes a wide (64-lane) sequential run. The wide path
+// supports the two- and four-valued systems only: a Word lane cannot
+// represent the nine-valued levels.
+type WideConfig struct {
+	// System is the logic value system; TwoValued or FourValued.
+	System logic.System
+	// Queue selects the pending-event set implementation.
+	Queue eventq.Impl
+	// Watch lists the nets to record; nil watches the primary outputs.
+	Watch []circuit.GateID
+	// MaxEvents aborts runaway simulations (oscillators); 0 means no limit.
+	MaxEvents uint64
+	// Metrics receives the run's work counters; nil uses a private
+	// registry.
+	Metrics metrics.Sink
+}
+
+// WideResult is the outcome of a wide run.
+type WideResult struct {
+	// Values holds the final packed value of every net.
+	Values []logic.Word
+	// Waveform is the committed whole-word change history of the watched
+	// nets; lane k of it equals the scalar waveform of lane k's stimulus.
+	Waveform trace.WideWaveform
+	// EndTime is the last simulated time processed.
+	EndTime circuit.Tick
+	// Lanes is the meaningful lane count, copied from the stimulus.
+	Lanes int
+	// Counters is the run's work tally.
+	Counters metrics.LPCounters
+}
+
+// wideEvent is a scheduled whole-word net change.
+type wideEvent struct {
+	gate circuit.GateID
+	word logic.Word
+}
+
+// RunWide simulates all 64 lanes of the wide stimulus in one pass,
+// evaluating 64 vectors per gate operation. The event loop is the scalar
+// Run loop verbatim with words for values: an event fires when the word
+// differs from the net's current word in any lane. Because the fired
+// evaluation times are a superset of every lane's scalar evaluation times
+// and gate evaluation is idempotent under unchanged inputs, each lane of
+// the resulting waveform is exactly the scalar reference waveform for that
+// lane's stimulus.
+func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick, cfg WideConfig) (*WideResult, error) {
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.FourValued
+	}
+	if err := logic.CheckWide(cfg.System); err != nil {
+		return nil, err
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("seq-wide")
+	}
+	blk := sink.LP(0)
+
+	val, prevClk := circuit.InitStateWide(c, cfg.System)
+	projected := make([]logic.Word, len(val))
+	copy(projected, val)
+
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+	isWatched := make([]bool, len(c.Gates))
+	for _, g := range watched {
+		isWatched[g] = true
+	}
+
+	q := eventq.New[wideEvent](cfg.Queue)
+	for _, ch := range stim.Changes {
+		if ch.Time > until {
+			continue
+		}
+		q.Push(uint64(ch.Time), wideEvent{gate: ch.Input, word: ch.Word})
+		projected[ch.Input] = ch.Word
+	}
+
+	res := &WideResult{Lanes: stim.Lanes}
+	var rec trace.WideRecorder
+
+	stamp := make([]uint64, len(c.Gates))
+	var epoch uint64
+	var dirty []circuit.GateID
+	var scratch []logic.Word
+	var endTime circuit.Tick
+	var totalEvents uint64
+
+	step := func(t circuit.Tick, initial bool) error {
+		epoch++
+		blk.Steps++
+		endTime = t
+		dirty = dirty[:0]
+		applied := uint64(0)
+
+		// Phase 1: apply all word changes for time t.
+		for {
+			pt, ok := q.PeekTime()
+			if !ok || circuit.Tick(pt) != t {
+				break
+			}
+			_, ev, _ := q.PopMin()
+			totalEvents++
+			if cfg.MaxEvents > 0 && totalEvents > cfg.MaxEvents {
+				return &supervise.SimError{
+					Engine: "seq-wide", LP: 0, Phase: "evaluate", ModeledTime: t,
+					Kind:  supervise.KindEventLimit,
+					Cause: fmt.Errorf("event limit %d exceeded at time %d (oscillation?)", cfg.MaxEvents, t),
+				}
+			}
+			if val[ev.gate] == ev.word {
+				continue
+			}
+			val[ev.gate] = ev.word
+			blk.EventsApplied++
+			applied++
+			if isWatched[ev.gate] {
+				rec.Record(t, ev.gate, ev.word)
+			}
+			for _, out := range c.Fanout[ev.gate] {
+				if stamp[out] != epoch {
+					stamp[out] = epoch
+					dirty = append(dirty, out)
+				}
+			}
+		}
+		if initial {
+			dirty = dirty[:0]
+			for id := range c.Gates {
+				if !c.Gates[id].Kind.Source() {
+					dirty = append(dirty, circuit.GateID(id))
+				}
+			}
+		}
+
+		// Phase 2: evaluate affected gates against the settled words.
+		for _, g := range dirty {
+			var out, clkSample logic.Word
+			out, clkSample, scratch = circuit.EvalGateWide(c, g, val, prevClk, scratch)
+			prevClk[g] = clkSample
+			blk.Evaluations++
+			if out == projected[g] {
+				continue
+			}
+			projected[g] = out
+			q.Push(uint64(t+c.Gates[g].Delay), wideEvent{gate: g, word: out})
+			blk.EventsScheduled++
+		}
+		blk.Hist(metrics.HistStepEvents).Observe(applied)
+		return nil
+	}
+
+	var runErr error
+	metrics.Do(sink, "seq-wide", 0, "run", func() {
+		if runErr = step(0, true); runErr != nil {
+			return
+		}
+		for q.Len() > 0 {
+			t64, _ := q.PeekTime()
+			t := circuit.Tick(t64)
+			if t > until {
+				break
+			}
+			if runErr = step(t, false); runErr != nil {
+				return
+			}
+			if err := q.Err(); err != nil {
+				runErr = &supervise.SimError{
+					Engine: "seq-wide", LP: 0, Phase: "eventq", ModeledTime: t,
+					Kind: supervise.KindCausality, Cause: err,
+				}
+				return
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res.Values = val
+	res.Waveform = trace.MergeWide(&rec)
+	res.EndTime = endTime
+	res.Counters = blk.LPCounters
+	return res, nil
+}
+
+// WideHorizon is Horizon for a wide stimulus.
+func WideHorizon(c *circuit.Circuit, stim *vectors.WideStimulus) circuit.Tick {
+	depth := circuit.Tick(1)
+	if levels, err := c.Levelize(); err == nil {
+		depth = circuit.Tick(len(levels) + 2)
+	}
+	max := c.MaxDelay()
+	if max == 0 {
+		max = 1
+	}
+	return stim.End + 4*depth*max
+}

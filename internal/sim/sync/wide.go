@@ -1,0 +1,344 @@
+package sync
+
+import (
+	"fmt"
+	gosync "sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/eventq"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/sim/supervise"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// WideResult is the outcome of a wide synchronous run.
+type WideResult struct {
+	Values   []logic.Word
+	Waveform trace.WideWaveform
+	EndTime  circuit.Tick
+	Lanes    int
+	Stats    stats.RunStats
+}
+
+// wideEvent is a scheduled whole-word net change local to one LP.
+type wideEvent struct {
+	gate circuit.GateID
+	word logic.Word
+}
+
+// wideLP is one logical process worker of the wide engine.
+type wideLP struct {
+	id        int
+	gates     []circuit.GateID
+	q         eventq.Queue[wideEvent]
+	dirty     []circuit.GateID
+	stamp     []uint64
+	scratch   []logic.Word
+	rec       trace.WideRecorder
+	st        *metrics.LPBlock
+	outbox    [][]circuit.GateID
+	phaseWork float64
+}
+
+// RunWide is the synchronous engine on 64 packed lanes: the identical
+// two-phase barrier protocol, with every net change carrying a whole word
+// and every evaluation processing 64 vectors. Events fire when any lane
+// changes, so per-step work is the union of the lanes' scalar work — one
+// barrier pair now advances 64 vectors instead of one.
+//
+// The wide path does not support dynamic rebalancing or checkpoint boot;
+// those Config fields must be unset.
+func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick, cfg Config) (*WideResult, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("sync: Config.Partition is required")
+	}
+	if err := cfg.Partition.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if cfg.Rebalance.Interval > 0 {
+		return nil, fmt.Errorf("sync: wide runs do not support dynamic rebalancing")
+	}
+	if cfg.Boot != nil {
+		return nil, fmt.Errorf("sync: wide runs do not support checkpoint boot")
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.FourValued
+	}
+	if err := logic.CheckWide(cfg.System); err != nil {
+		return nil, err
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("sync-wide")
+	}
+	start := time.Now()
+
+	p := cfg.Partition
+	numLPs := p.Blocks
+	owner := p.Assign
+
+	val, prevClk := circuit.InitStateWide(c, cfg.System)
+	projected := make([]logic.Word, len(val))
+	copy(projected, val)
+
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+	isWatched := make([]bool, len(c.Gates))
+	for _, g := range watched {
+		isWatched[g] = true
+	}
+
+	lps := make([]*wideLP, numLPs)
+	blockGates := p.BlockGates()
+	for i := range lps {
+		lps[i] = &wideLP{
+			id:     i,
+			gates:  blockGates[i],
+			q:      eventq.New[wideEvent](cfg.Queue),
+			stamp:  make([]uint64, len(c.Gates)),
+			outbox: make([][]circuit.GateID, numLPs),
+			st:     sink.LP(i),
+		}
+	}
+	globals := sink.Globals()
+	for _, ch := range stim.Changes {
+		if ch.Time > until {
+			continue
+		}
+		lps[owner[ch.Input]].q.Push(uint64(ch.Time), wideEvent{ch.Input, ch.Word})
+	}
+
+	var epoch uint64
+	var totalEvents atomic.Uint64
+	run := &WideResult{Lanes: stim.Lanes}
+
+	phaseA := func(l *wideLP, t circuit.Tick) {
+		l.phaseWork = 0
+		applied := uint64(0)
+		for {
+			pt, ok := l.q.PeekTime()
+			if !ok || circuit.Tick(pt) != t {
+				break
+			}
+			_, ev, _ := l.q.PopMin()
+			totalEvents.Add(1)
+			l.st.EventsApplied++
+			applied++
+			l.phaseWork += cfg.Cost.EventCost
+			if val[ev.gate] == ev.word {
+				continue
+			}
+			val[ev.gate] = ev.word
+			if isWatched[ev.gate] {
+				l.rec.Record(t, ev.gate, ev.word)
+			}
+			for _, out := range c.Fanout[ev.gate] {
+				dst := owner[out]
+				l.outbox[dst] = append(l.outbox[dst], out)
+				if dst != l.id {
+					l.st.MessagesSent++
+					l.phaseWork += cfg.Cost.MsgCost
+				}
+			}
+		}
+		l.st.Hist(metrics.HistStepEvents).Observe(applied)
+	}
+
+	phaseB := func(l *wideLP, t circuit.Tick, initial bool) {
+		l.phaseWork = 0
+		l.dirty = l.dirty[:0]
+		if initial {
+			for _, src := range lps {
+				for range src.outbox[l.id] {
+					if src.id != l.id {
+						l.st.MessagesRecv++
+						l.phaseWork += cfg.Cost.MsgCost
+					}
+				}
+			}
+			for _, g := range l.gates {
+				if !c.Gates[g].Kind.Source() {
+					l.dirty = append(l.dirty, g)
+				}
+			}
+		} else {
+			for _, src := range lps {
+				inbox := src.outbox[l.id]
+				for _, g := range inbox {
+					if src.id != l.id {
+						l.st.MessagesRecv++
+						l.phaseWork += cfg.Cost.MsgCost
+					}
+					if l.stamp[g] != epoch {
+						l.stamp[g] = epoch
+						l.dirty = append(l.dirty, g)
+					}
+				}
+			}
+		}
+		for _, g := range l.dirty {
+			var out, clkSample logic.Word
+			out, clkSample, l.scratch = circuit.EvalGateWide(c, g, val, prevClk, l.scratch)
+			prevClk[g] = clkSample
+			l.st.Evaluations++
+			l.phaseWork += cfg.Cost.EvalCost
+			if out == projected[g] {
+				continue
+			}
+			projected[g] = out
+			l.q.Push(uint64(t+c.Gates[g].Delay), wideEvent{g, out})
+			l.st.EventsScheduled++
+			l.phaseWork += cfg.Cost.EventCost
+		}
+		l.st.Steps++
+	}
+
+	// Persistent phase workers, as in the scalar engine: one goroutine per
+	// LP for the whole run, commanded over a channel, joined by WaitGroup.
+	type phaseCmd struct {
+		t     circuit.Tick
+		phase int
+	}
+	var failMu gosync.Mutex
+	var failErr error
+	setFail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+	checkFail := func() error {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failErr
+	}
+	work := make([]chan phaseCmd, numLPs)
+	var pw gosync.WaitGroup
+	for _, l := range lps {
+		ch := make(chan phaseCmd, 1)
+		work[l.id] = ch
+		go func(l *wideLP, ch chan phaseCmd) {
+			for cmd := range ch {
+				name := "apply"
+				if cmd.phase != 0 {
+					name = "eval"
+				}
+				func() {
+					defer pw.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							setFail(supervise.FromPanic("sync-wide", l.id, name, cmd.t, r))
+						}
+					}()
+					metrics.Do(sink, "sync-wide", l.id, name, func() {
+						switch cmd.phase {
+						case 0:
+							phaseA(l, cmd.t)
+						case 1:
+							phaseB(l, cmd.t, false)
+						case 2:
+							phaseB(l, cmd.t, true)
+						}
+					})
+				}()
+			}
+		}(l, ch)
+	}
+	defer func() {
+		for _, ch := range work {
+			close(ch)
+		}
+	}()
+
+	runPhase := func(t circuit.Tick, phase int) {
+		pw.Add(numLPs)
+		for _, ch := range work {
+			ch <- phaseCmd{t, phase}
+		}
+		pw.Wait()
+		globals.Barriers++
+		var max float64
+		for _, l := range lps {
+			if l.phaseWork > max {
+				max = l.phaseWork
+			}
+		}
+		globals.ModeledCriticalNs += max
+	}
+
+	clearOutboxes := func() {
+		for _, l := range lps {
+			for d := range l.outbox {
+				l.outbox[d] = l.outbox[d][:0]
+			}
+		}
+	}
+
+	epoch++
+	runPhase(0, 0)
+	runPhase(0, 2)
+	clearOutboxes()
+	if err := checkFail(); err != nil {
+		return nil, err
+	}
+	var endTime circuit.Tick
+
+	for {
+		var next uint64
+		have := false
+		for _, l := range lps {
+			if err := l.q.Err(); err != nil {
+				return nil, &supervise.SimError{
+					Engine: "sync-wide", LP: l.id, Phase: "eventq", ModeledTime: endTime,
+					Kind: supervise.KindCausality, Cause: err,
+				}
+			}
+			if pt, ok := l.q.PeekTime(); ok && (!have || pt < next) {
+				next, have = pt, true
+			}
+		}
+		if !have || circuit.Tick(next) > until {
+			break
+		}
+		if cfg.MaxEvents > 0 && totalEvents.Load() > cfg.MaxEvents {
+			return nil, &supervise.SimError{
+				Engine: "sync-wide", LP: -1, Phase: "run", ModeledTime: circuit.Tick(next),
+				Kind:  supervise.KindEventLimit,
+				Cause: fmt.Errorf("event limit %d exceeded at time %d", cfg.MaxEvents, next),
+			}
+		}
+		t := circuit.Tick(next)
+		endTime = t
+		epoch++
+		runPhase(t, 0)
+		runPhase(t, 1)
+		clearOutboxes()
+		if err := checkFail(); err != nil {
+			return nil, err
+		}
+	}
+
+	run.Values = val
+	recs := make([]*trace.WideRecorder, numLPs)
+	for i, l := range lps {
+		recs[i] = &l.rec
+	}
+	run.Waveform = trace.MergeWide(recs...)
+	run.EndTime = endTime
+	run.Stats = stats.Collect(sink, time.Since(start))
+	return run, nil
+}

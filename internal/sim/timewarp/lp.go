@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/eventq"
-	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/supervise"
@@ -18,49 +17,57 @@ import (
 // qevent is one pending input event. Every event carries a globally unique
 // id so anti-messages can annihilate their originals and rollbacks can
 // retract internally scheduled events.
-type qevent struct {
+type qevent[V comparable] struct {
 	gate  circuit.GateID
-	value logic.Value
+	value V
 	id    uint64
 }
 
 // sentRec remembers one transmitted message for later cancellation.
-type sentRec struct {
+type sentRec[V comparable] struct {
 	dst   int
 	id    uint64
 	time  circuit.Tick
 	gate  circuit.GateID
-	value logic.Value
+	value V
 }
 
 // step is the saved history of one executed timestep: everything needed to
 // undo it (state log or snapshot), re-execute it (consumed inputs), and
 // cancel its effects (sent messages, created internal events).
-type step struct {
+type step[V comparable] struct {
 	time    circuit.Tick
-	inputs  []qevent
-	undo    *kernel.Undo     // incremental state saving
-	snap    *kernel.Snapshot // full-copy state saving (state before the step)
-	sent    []sentRec
+	inputs  []qevent[V]
+	undo    *kernel.UndoT[V]     // incremental state saving
+	snap    *kernel.SnapshotT[V] // full-copy state saving (state before the step)
+	sent    []sentRec[V]
 	created []uint64
 	words   uint64 // history words charged to the memory throttle
 }
 
 // lazyRec is a message awaiting lazy cancellation: sent by a rolled-back
 // step, to be annihilated only if re-execution does not regenerate it.
-type lazyRec struct {
-	sentRec
+type lazyRec[V comparable] struct {
+	sentRec[V]
 	createdAt circuit.Tick
 }
 
+// recorderOf abstracts the waveform recorder over the value type:
+// *trace.Recorder for scalar runs, *trace.WideRecorder for wide runs.
+// Rollback needs TruncateFrom, so a bare record callback is not enough.
+type recorderOf[V comparable] interface {
+	Record(t circuit.Tick, g circuit.GateID, v V)
+	TruncateFrom(t circuit.Tick)
+}
+
 // tlp is one Time Warp logical process.
-type tlp struct {
+type tlp[V comparable] struct {
 	id   int
-	sh   *shared
+	sh   *shared[V]
 	cfg  Config
-	k    *kernel.LP
-	q    eventq.Queue[qevent]
-	rec  trace.Recorder
+	k    *kernel.LPT[V]
+	q    eventq.Queue[qevent[V]]
+	rec  recorderOf[V]
 	st   *metrics.LPBlock
 	trsh *trace.Shard
 	slot *supervise.LPSlot // watchdog scoreboard entry; nil-safe when unwatched
@@ -68,53 +75,54 @@ type tlp struct {
 	lvt         circuit.Tick
 	gvt         circuit.Tick // last observed GVT
 	fossilFloor circuit.Tick // history below this time has been collected
-	steps       []*step
+	steps       []*step[V]
 	dead        map[uint64]bool
-	lazyPending []lazyRec
+	lazyPending []lazyRec[V]
 	seq         uint64
 	relevant    []circuit.GateID
 
-	initialEvents []kernel.Event
-	curStep       *step
+	initialEvents []kernel.EventT[V]
+	curStep       *step[V]
 	handledSince  uint64
-	buf           []msg
-	evs           []qevent
-	kevs          []kernel.Event
+	buf           []msg[V]
+	evs           []qevent[V]
+	kevs          []kernel.EventT[V]
 
 	// Free-lists for the per-step history records. Steps, undo logs, and
 	// snapshots are recycled here at rollback and fossil collection instead
 	// of being dropped for the GC; reuse keeps the slices' grown capacity,
 	// so a warm LP executes timesteps without allocating.
-	stepPool    []*step
-	undoPool    []*kernel.Undo
-	snapPool    []*kernel.Snapshot
-	undoScratch []*kernel.Undo
+	stepPool    []*step[V]
+	undoPool    []*kernel.UndoT[V]
+	snapPool    []*kernel.SnapshotT[V]
+	undoScratch []*kernel.UndoT[V]
 
 	// Per-destination outgoing message batches. Sends append here (transit
 	// is counted at buffer time so GVT quiescence waits for unflushed
 	// batches) and flushSends delivers each destination's batch with one
 	// PutAll — one lock acquisition per destination per step instead of one
 	// per message.
-	pend    [][]msg
+	pend    [][]msg[V]
 	pendDst []int // destinations with a non-empty batch, in first-use order
 
 	// Hybrid-mode intra-cluster buffers and accounting.
-	outBuf   []logic.Value
-	clkBuf   []logic.Value
+	outBuf   []V
+	clkBuf   []V
 	critEval float64
 }
 
-func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
-	l := &tlp{
+func newTLP[V comparable](sh *shared[V], id int, k *kernel.LPT[V], rec recorderOf[V], cfg Config) *tlp[V] {
+	l := &tlp[V]{
 		id:   id,
 		sh:   sh,
 		cfg:  cfg,
 		k:    k,
-		q:    eventq.NewCap[qevent](cfg.Queue, 128),
+		rec:  rec,
+		q:    eventq.NewCap[qevent[V]](cfg.Queue, 128),
 		dead: map[uint64]bool{},
-		evs:  make([]qevent, 0, 32),
-		kevs: make([]kernel.Event, 0, 32),
-		buf:  make([]msg, 0, 64),
+		evs:  make([]qevent[V], 0, 32),
+		kevs: make([]kernel.EventT[V], 0, 32),
+		buf:  make([]msg[V], 0, 64),
 		st:   sh.sink.LP(id),
 		trsh: sh.tracer.Shard(fmt.Sprintf("lp %d", id)),
 	}
@@ -122,18 +130,18 @@ func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
 		l.relevant = k.RelevantNets()
 	}
 	if cfg.IntraWorkers > 1 {
-		l.outBuf = make([]logic.Value, sh.c.NumGates())
-		l.clkBuf = make([]logic.Value, sh.c.NumGates())
+		l.outBuf = make([]V, sh.c.NumGates())
+		l.clkBuf = make([]V, sh.c.NumGates())
 	}
-	l.pend = make([][]msg, len(sh.inboxes))
-	k.Schedule = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
-		ev := qevent{gate: g, value: v, id: l.newID()}
+	l.pend = make([][]msg[V], len(sh.inboxes))
+	k.Schedule = func(t circuit.Tick, g circuit.GateID, v V) {
+		ev := qevent[V]{gate: g, value: v, id: l.newID()}
 		l.q.Push(uint64(t), ev)
 		if l.curStep != nil {
 			l.curStep.created = append(l.curStep.created, ev.id)
 		}
 	}
-	k.Send = func(dst int, t circuit.Tick, g circuit.GateID, v logic.Value) {
+	k.Send = func(dst int, t circuit.Tick, g circuit.GateID, v V) {
 		if l.cfg.Cancellation == Lazy && len(l.lazyPending) > 0 {
 			// Lazy cancellation: a regenerated message equal to one already
 			// delivered is suppressed — the receiver's copy stays valid —
@@ -149,25 +157,25 @@ func newTLP(sh *shared, id int, k *kernel.LP, cfg Config) *tlp {
 				}
 			}
 		}
-		rec := sentRec{dst: dst, id: l.newID(), time: t, gate: g, value: v}
+		rec := sentRec[V]{dst: dst, id: l.newID(), time: t, gate: g, value: v}
 		l.curStep.sent = append(l.curStep.sent, rec)
-		l.buffer(dst, msg{kind: msgValue, from: l.id, id: rec.id, time: t, gate: g, value: v})
+		l.buffer(dst, msg[V]{kind: msgValue, from: l.id, id: rec.id, time: t, gate: g, value: v})
 	}
-	k.Record = func(t circuit.Tick, g circuit.GateID, v logic.Value) {
+	k.Record = func(t circuit.Tick, g circuit.GateID, v V) {
 		l.rec.Record(t, g, v)
 	}
 	return l
 }
 
 // newID mints a run-unique event/message id.
-func (l *tlp) newID() uint64 {
+func (l *tlp[V]) newID() uint64 {
 	l.seq++
 	return uint64(l.id)<<40 | l.seq
 }
 
 // getStep acquires a cleared step record, reusing a recycled one (and its
 // grown slice capacity) when available.
-func (l *tlp) getStep(t circuit.Tick) *step {
+func (l *tlp[V]) getStep(t circuit.Tick) *step[V] {
 	if n := len(l.stepPool); n > 0 {
 		s := l.stepPool[n-1]
 		l.stepPool[n-1] = nil
@@ -180,10 +188,10 @@ func (l *tlp) getStep(t circuit.Tick) *step {
 		return s
 	}
 	l.st.PoolMisses++
-	return &step{
+	return &step[V]{
 		time:    t,
-		inputs:  make([]qevent, 0, 8),
-		sent:    make([]sentRec, 0, 8),
+		inputs:  make([]qevent[V], 0, 8),
+		sent:    make([]sentRec[V], 0, 8),
 		created: make([]uint64, 0, 16),
 	}
 }
@@ -191,7 +199,7 @@ func (l *tlp) getStep(t circuit.Tick) *step {
 // putStep recycles a step record and its undo/snapshot into the free-lists.
 // Callers must be done with every slice the record owns: the requeue/cancel
 // loops copy inputs, sent records, and created ids by value before recycling.
-func (l *tlp) putStep(s *step) {
+func (l *tlp[V]) putStep(s *step[V]) {
 	if s.words != 0 {
 		l.sh.histWords.Add(-int64(s.words))
 		s.words = 0
@@ -208,7 +216,7 @@ func (l *tlp) putStep(s *step) {
 }
 
 // getUndo acquires a reset undo log from the free-list.
-func (l *tlp) getUndo() *kernel.Undo {
+func (l *tlp[V]) getUndo() *kernel.UndoT[V] {
 	if n := len(l.undoPool); n > 0 {
 		u := l.undoPool[n-1]
 		l.undoPool[n-1] = nil
@@ -218,12 +226,12 @@ func (l *tlp) getUndo() *kernel.Undo {
 		return u
 	}
 	l.st.PoolMisses++
-	return kernel.NewUndo(32, 8, 32)
+	return kernel.NewUndoOf[V](32, 8, 32)
 }
 
 // getSnap acquires a snapshot buffer from the free-list; TakeSnapshot
 // reuses its capacity.
-func (l *tlp) getSnap() *kernel.Snapshot {
+func (l *tlp[V]) getSnap() *kernel.SnapshotT[V] {
 	if n := len(l.snapPool); n > 0 {
 		s := l.snapPool[n-1]
 		l.snapPool[n-1] = nil
@@ -232,17 +240,17 @@ func (l *tlp) getSnap() *kernel.Snapshot {
 		return s
 	}
 	l.st.PoolMisses++
-	return &kernel.Snapshot{}
+	return &kernel.SnapshotT[V]{}
 }
 
 // buffer queues one outgoing message for dst. Transit is counted here, at
 // buffer time, so GVT quiescence (handled==0 && transit==0) cannot conclude
 // while any batch is unflushed.
-func (l *tlp) buffer(dst int, m msg) {
+func (l *tlp[V]) buffer(dst int, m msg[V]) {
 	l.sh.transit.Add(1)
 	if len(l.pend[dst]) == 0 {
 		if cap(l.pend[dst]) == 0 {
-			l.pend[dst] = make([]msg, 0, 64)
+			l.pend[dst] = make([]msg[V], 0, 64)
 		}
 		l.pendDst = append(l.pendDst, dst)
 	}
@@ -252,7 +260,7 @@ func (l *tlp) buffer(dst int, m msg) {
 // flushSends delivers every buffered batch, one PutAll per destination.
 // Per-destination order is preserved, so link FIFO (which anti-message
 // annihilation relies on) still holds.
-func (l *tlp) flushSends() {
+func (l *tlp[V]) flushSends() {
 	for _, dst := range l.pendDst {
 		l.sh.inboxes[dst].PutAll(l.pend[dst])
 		l.pend[dst] = l.pend[dst][:0]
@@ -262,7 +270,7 @@ func (l *tlp) flushSends() {
 
 // nextLive returns the earliest non-annihilated pending event time,
 // discarding annihilated entries it passes over.
-func (l *tlp) nextLive() circuit.Tick {
+func (l *tlp[V]) nextLive() circuit.Tick {
 	for {
 		t, v, ok := l.q.Peek()
 		if !ok {
@@ -278,7 +286,7 @@ func (l *tlp) nextLive() circuit.Tick {
 }
 
 // popBatch removes all live events at exactly time t.
-func (l *tlp) popBatch(t circuit.Tick) []qevent {
+func (l *tlp[V]) popBatch(t circuit.Tick) []qevent[V] {
 	l.evs = l.evs[:0]
 	for {
 		pt, v, ok := l.q.Peek()
@@ -296,13 +304,13 @@ func (l *tlp) popBatch(t circuit.Tick) []qevent {
 }
 
 // execStep speculatively executes the events at time t.
-func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
+func (l *tlp[V]) execStep(t circuit.Tick, events []qevent[V], initial bool) {
 	begin := l.trsh.Now()
 	s := l.getStep(t)
 	s.inputs = append(s.inputs, events...)
 	l.kevs = l.kevs[:0]
 	for _, ev := range events {
-		l.kevs = append(l.kevs, kernel.Event{Gate: ev.gate, Value: ev.value})
+		l.kevs = append(l.kevs, kernel.EventT[V]{Gate: ev.gate, Value: ev.value})
 	}
 	if !initial && l.cfg.StateSaving == FullCopy {
 		snapBegin := l.trsh.Now()
@@ -313,7 +321,7 @@ func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 		l.trsh.Span(trace.PhaseStateSave, snapBegin, t)
 	}
 	l.curStep = s
-	var undo *kernel.Undo
+	var undo *kernel.UndoT[V]
 	if !initial && l.cfg.StateSaving == Incremental {
 		undo = l.getUndo()
 		s.undo = undo
@@ -355,8 +363,8 @@ func (l *tlp) execStep(t circuit.Tick, events []qevent, initial bool) {
 
 // execInitial runs the time-zero settling step (never rolled back: all
 // cross-LP messages carry times >= 1, so no straggler can target time 0).
-func (l *tlp) execInitial() {
-	s := &step{time: 0}
+func (l *tlp[V]) execInitial() {
+	s := &step[V]{time: 0}
 	l.curStep = s
 	begin := l.trsh.Now()
 	l.k.Step(0, l.initialEvents, true, nil, &l.st.LPCounters)
@@ -368,14 +376,14 @@ func (l *tlp) execInitial() {
 
 // rollback restores the LP to just before the earliest step at or after ts
 // and schedules that history for re-execution.
-func (l *tlp) rollback(ts circuit.Tick) {
+func (l *tlp[V]) rollback(ts circuit.Tick) {
 	idx := sort.Search(len(l.steps), func(i int) bool { return l.steps[i].time >= ts })
 	if idx == len(l.steps) {
 		return
 	}
 	if l.steps[idx].time < l.fossilFloor {
 		l.sh.fail(&supervise.SimError{
-			Engine: "timewarp", LP: l.id, Phase: "rollback", ModeledTime: ts,
+			Engine: l.sh.engine, LP: l.id, Phase: "rollback", ModeledTime: ts,
 			Kind:  supervise.KindCausality,
 			Cause: fmt.Errorf("rollback to %d below GVT %d", ts, l.fossilFloor),
 		})
@@ -411,7 +419,7 @@ func (l *tlp) rollback(ts circuit.Tick) {
 		}
 		for _, sr := range s.sent {
 			if l.cfg.Cancellation == Lazy {
-				l.lazyPending = append(l.lazyPending, lazyRec{sentRec: sr, createdAt: s.time})
+				l.lazyPending = append(l.lazyPending, lazyRec[V]{sentRec: sr, createdAt: s.time})
 			} else {
 				l.sendAnti(sr)
 			}
@@ -450,14 +458,14 @@ func (l *tlp) rollback(ts circuit.Tick) {
 
 // sendAnti queues an anti-message for a previously sent message; the batch
 // is delivered at the next flushSends.
-func (l *tlp) sendAnti(sr sentRec) {
+func (l *tlp[V]) sendAnti(sr sentRec[V]) {
 	l.st.AntiMessagesSent++
-	l.buffer(sr.dst, msg{kind: msgAnti, from: l.id, id: sr.id, time: sr.time, gate: sr.gate, value: sr.value})
+	l.buffer(sr.dst, msg[V]{kind: msgAnti, from: l.id, id: sr.id, time: sr.time, gate: sr.gate, value: sr.value})
 }
 
 // cancelLazyThrough cancels pending lazy messages whose originating step
 // time is <= t: the LP has re-executed past them without regenerating.
-func (l *tlp) cancelLazyThrough(t circuit.Tick) {
+func (l *tlp[V]) cancelLazyThrough(t circuit.Tick) {
 	if len(l.lazyPending) == 0 {
 		return
 	}
@@ -477,7 +485,7 @@ func (l *tlp) cancelLazyThrough(t circuit.Tick) {
 // or before their creation time). Slightly eager — a future straggler
 // could have re-created the step — but cancellation is always safe, and
 // this guarantees no wrong message survives quiescence.
-func (l *tlp) flushLazyBelowNext() {
+func (l *tlp[V]) flushLazyBelowNext() {
 	if len(l.lazyPending) == 0 {
 		return
 	}
@@ -496,7 +504,7 @@ func (l *tlp) flushLazyBelowNext() {
 // localMin is this LP's contribution to GVT: the earliest live unprocessed
 // event, lower-bounded by any still-pending lazy cancellation (whose
 // eventual anti-message may roll the destination back to that time).
-func (l *tlp) localMin() circuit.Tick {
+func (l *tlp[V]) localMin() circuit.Tick {
 	m := l.nextLive()
 	for _, p := range l.lazyPending {
 		if p.time < m {
@@ -507,7 +515,7 @@ func (l *tlp) localMin() circuit.Tick {
 }
 
 // fossilCollect frees history strictly older than the new GVT.
-func (l *tlp) fossilCollect(gvt circuit.Tick) {
+func (l *tlp[V]) fossilCollect(gvt circuit.Tick) {
 	l.gvt = gvt
 	l.fossilFloor = gvt
 	l.slot.SetBound(uint64(gvt))
@@ -527,7 +535,7 @@ func (l *tlp) fossilCollect(gvt circuit.Tick) {
 }
 
 // handle processes one inbound message; it returns false on terminate.
-func (l *tlp) handle(m msg) bool {
+func (l *tlp[V]) handle(m msg[V]) bool {
 	switch m.kind {
 	case msgValue:
 		l.sh.transit.Add(-1)
@@ -535,7 +543,7 @@ func (l *tlp) handle(m msg) bool {
 		l.handledSince++
 		if m.time < l.fossilFloor {
 			l.sh.fail(&supervise.SimError{
-				Engine: "timewarp", LP: l.id, Phase: "handle", ModeledTime: m.time,
+				Engine: l.sh.engine, LP: l.id, Phase: "handle", ModeledTime: m.time,
 				Kind:  supervise.KindCausality,
 				Cause: fmt.Errorf("received message at %d below GVT %d", m.time, l.fossilFloor),
 			})
@@ -545,14 +553,14 @@ func (l *tlp) handle(m msg) bool {
 			l.rollback(m.time)
 		}
 		l.q.ResetFloor()
-		l.q.Push(uint64(m.time), qevent{gate: m.gate, value: m.value, id: m.id})
+		l.q.Push(uint64(m.time), qevent[V]{gate: m.gate, value: m.value, id: m.id})
 	case msgAnti:
 		l.sh.transit.Add(-1)
 		l.st.AntiMessagesRecv++
 		l.handledSince++
 		if m.time < l.fossilFloor {
 			l.sh.fail(&supervise.SimError{
-				Engine: "timewarp", LP: l.id, Phase: "handle", ModeledTime: m.time,
+				Engine: l.sh.engine, LP: l.id, Phase: "handle", ModeledTime: m.time,
 				Kind:  supervise.KindCausality,
 				Cause: fmt.Errorf("received anti-message at %d below GVT %d", m.time, l.fossilFloor),
 			})
@@ -577,7 +585,7 @@ func (l *tlp) handle(m msg) bool {
 }
 
 // handleAll processes a batch; it returns false on terminate.
-func (l *tlp) handleAll(batch []msg) bool {
+func (l *tlp[V]) handleAll(batch []msg[V]) bool {
 	for _, m := range batch {
 		if !l.handle(m) {
 			return false
@@ -590,10 +598,10 @@ func (l *tlp) handleAll(batch []msg) bool {
 // that can reach WaitDrain (or park the LP in any way) flushes first, so no
 // message sits in a local batch while its sender sleeps — GVT quiescence
 // and deadlock-freedom both depend on it.
-func (l *tlp) run() {
+func (l *tlp[V]) run() {
 	l.slot.SetPhase(supervise.PhaseRun)
 	defer l.slot.SetPhase(supervise.PhaseDone)
-	if l.sh.cfg.Boot == nil {
+	if !l.sh.boot {
 		l.execInitial()
 		l.flushSends()
 	}
@@ -659,7 +667,7 @@ func (l *tlp) run() {
 		processed := l.sh.events.Add(uint64(len(events)))
 		if max := l.sh.cfg.MaxEvents; max > 0 && processed > max {
 			l.sh.fail(&supervise.SimError{
-				Engine: "timewarp", LP: l.id, Phase: "run", ModeledTime: t,
+				Engine: l.sh.engine, LP: l.id, Phase: "run", ModeledTime: t,
 				Kind:  supervise.KindEventLimit,
 				Cause: fmt.Errorf("event limit %d exceeded at time %d", max, t),
 			})
@@ -672,7 +680,7 @@ func (l *tlp) run() {
 		l.slot.SetLVT(uint64(l.lvt))
 		if err := l.q.Err(); err != nil {
 			l.sh.fail(&supervise.SimError{
-				Engine: "timewarp", LP: l.id, Phase: "eventq", ModeledTime: l.lvt,
+				Engine: l.sh.engine, LP: l.id, Phase: "eventq", ModeledTime: l.lvt,
 				Kind: supervise.KindCausality, Cause: err,
 			})
 			return

@@ -19,6 +19,15 @@
 // than GVT, and an optional moving time window bounds optimism to
 // GVT + Window, one of the "control" mechanisms the paper's future
 // directions discuss.
+//
+// The Time Warp protocol itself — speculation, rollback, anti-messages,
+// GVT, fossil collection — never inspects a signal value; it only moves
+// them, compares them, and saves them. The implementation is therefore
+// generic over the value type: runCore and the tlp machinery in lp.go are
+// instantiated with logic.Value for scalar runs (Run) and logic.Word for
+// 64-lane wide runs (RunWide), with the value-specific pieces (stimulus
+// projection, kernel construction, waveform recording) injected by the two
+// wrappers.
 package timewarp
 
 import (
@@ -177,13 +186,13 @@ const (
 	msgTerminate
 )
 
-type msg struct {
+type msg[V comparable] struct {
 	kind  msgKind
 	from  int
 	id    uint64
 	time  circuit.Tick
 	gate  circuit.GateID
-	value logic.Value
+	value V
 }
 
 // msgMeta projects a message to its chaos-transport role: values and
@@ -191,7 +200,7 @@ type msg struct {
 // depends on that order, so chaos preserves it); GVT rounds and
 // termination are coordinator control that chaos must not touch. Time
 // Warp has no promises, so no timestamps are bound-checked.
-func msgMeta(m msg) inject.Meta {
+func msgMeta[V comparable](m msg[V]) inject.Meta {
 	switch m.kind {
 	case msgValue, msgAnti:
 		return inject.Meta{Kind: inject.Value, From: m.from, Time: uint64(m.time)}
@@ -207,11 +216,13 @@ type gvtReply struct {
 }
 
 // shared bundles cross-goroutine state of a run.
-type shared struct {
+type shared[V comparable] struct {
 	cfg     Config
+	engine  string // supervise/metrics label: "timewarp" or "timewarp-wide"
+	boot    bool   // resuming from a checkpoint (skip the settling step)
 	c       *circuit.Circuit
 	until   circuit.Tick
-	inboxes []mpsc.Transport[msg]
+	inboxes []mpsc.Transport[msg[V]]
 	sink    metrics.Sink
 	tracer  *trace.Tracer
 	coShard *trace.Shard
@@ -241,13 +252,21 @@ type shared struct {
 // fail records the first fatal error and aborts the run. Releasing any
 // chaos-injected hang is part of the abort contract: a parked LP must be
 // unparked so it can observe the abort flag and exit.
-func (sh *shared) fail(err error) {
+func (sh *shared[V]) fail(err error) {
 	sh.errOnce.Do(func() { sh.err = err })
 	sh.abort.Store(true)
 	sh.cfg.Chaos.Release()
 	for _, ib := range sh.inboxes {
 		ib.Poke()
 	}
+}
+
+// stimChange is one pre-projected stimulus (or checkpoint) event handed to
+// runCore by a wrapper; the value is already in the run's value domain.
+type stimChange[V comparable] struct {
+	time circuit.Tick
+	gate circuit.GateID
+	value V
 }
 
 // Run simulates c under the stimulus until the given time (inclusive).
@@ -272,33 +291,102 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			return nil, err
 		}
 	}
-	if cfg.GVTInterval == 0 {
-		cfg.GVTInterval = 50 * time.Millisecond
-	}
-	if cfg.Cost == (stats.CostModel{}) {
-		cfg.Cost = stats.DefaultCostModel()
-	}
 	sink := cfg.Metrics
 	if sink == nil {
 		sink = metrics.NewRegistry("timewarp")
 	}
 	start := time.Now()
 
-	p := cfg.Partition
-	n := p.Blocks
-	owner := p.Assign
+	n := cfg.Partition.Blocks
+	owner := cfg.Partition.Assign
 	watched := cfg.Watch
 	if watched == nil {
 		watched = c.Outputs
 	}
 
-	sh := &shared{cfg: cfg, c: c, until: until, sink: sink, tracer: cfg.Tracer}
+	var stimEvents, bootEvents []stimChange[logic.Value]
+	var seedState func(k *kernel.LP)
+	if cfg.Boot == nil {
+		stimEvents = make([]stimChange[logic.Value], 0, len(stim.Changes))
+		for _, ch := range stim.Changes {
+			stimEvents = append(stimEvents, stimChange[logic.Value]{ch.Time, ch.Input, cfg.System.Project(ch.Value)})
+		}
+	} else {
+		boot := cfg.Boot
+		bootEvents = make([]stimChange[logic.Value], 0, len(boot.Events))
+		for _, ev := range boot.Events {
+			bootEvents = append(bootEvents, stimChange[logic.Value]{circuit.Tick(ev.Time), ev.Gate, ev.Value})
+		}
+		seedState = func(k *kernel.LP) {
+			k.SeedState(boot.Vals, boot.PrevClk, boot.Projected)
+		}
+	}
+
+	recs := make([]trace.Recorder, n)
+	lps, sh, gvtRounds, finalGVT, err := runCore(c, until, cfg, sink, "timewarp",
+		stimEvents, bootEvents, seedState,
+		func(self int, own []circuit.GateID) *kernel.LP {
+			return kernel.New(c, owner, self, cfg.System, watched, own)
+		},
+		func(lp int) recorderOf[logic.Value] { return &recs[lp] })
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Values: make([]logic.Value, len(c.Gates)), GVT: finalGVT}
+	for g := range c.Gates {
+		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
+	}
+	recPtrs := make([]*trace.Recorder, n)
+	for i, l := range lps {
+		recPtrs[i] = &recs[i]
+		res.IntraCritical = append(res.IntraCritical, l.critEval)
+		if l.lvt != infTick && l.lvt > res.EndTime {
+			res.EndTime = l.lvt
+		}
+	}
+	res.Waveform = trace.Merge(recPtrs...)
+	sink.Globals().GVTRounds = gvtRounds
+	if finalGVT != infTick {
+		sink.SetGauge("final_gvt", float64(finalGVT))
+	}
+	if cfg.HistoryLimit > 0 {
+		sink.SetGauge("mem_throttle_rounds", float64(sh.throttleRounds))
+		sink.SetGauge("history_peak_words", float64(sh.histPeak))
+	}
+	res.Stats = stats.Collect(sink, time.Since(start))
+	return res, nil
+}
+
+// runCore executes the value-blind Time Warp protocol: LP construction,
+// stimulus/checkpoint routing, the LP goroutines, the GVT coordinator, and
+// abort-to-error mapping. The value-specific pieces arrive as hooks:
+// pre-projected stimulus (or checkpoint) events, an optional state seeder
+// (non-nil exactly when resuming from a checkpoint), a kernel factory, and
+// a recorder factory. On success the caller assembles its result from the
+// returned LPs.
+func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, sink metrics.Sink,
+	engine string, stimEvents, bootEvents []stimChange[V], seedState func(k *kernel.LPT[V]),
+	newKernel func(self int, own []circuit.GateID) *kernel.LPT[V],
+	newRecorder func(lp int) recorderOf[V]) ([]*tlp[V], *shared[V], uint64, circuit.Tick, error) {
+	if cfg.GVTInterval == 0 {
+		cfg.GVTInterval = 50 * time.Millisecond
+	}
+	if cfg.Cost == (stats.CostModel{}) {
+		cfg.Cost = stats.DefaultCostModel()
+	}
+
+	p := cfg.Partition
+	n := p.Blocks
+	owner := p.Assign
+
+	sh := &shared[V]{cfg: cfg, engine: engine, boot: seedState != nil, c: c, until: until, sink: sink, tracer: cfg.Tracer}
 	sh.coShard = cfg.Tracer.Shard("coordinator")
-	sh.inboxes = make([]mpsc.Transport[msg], n)
+	sh.inboxes = make([]mpsc.Transport[msg[V]], n)
 	for i := range sh.inboxes {
-		var tr mpsc.Transport[msg] = mpsc.New[msg]()
+		var tr mpsc.Transport[msg[V]] = mpsc.New[msg[V]]()
 		if cfg.Chaos != nil {
-			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta)
+			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta[V])
 		}
 		sh.inboxes[i] = tr
 	}
@@ -309,16 +397,16 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		board = supervise.NewBoard(n)
 	}
 	blockGates := p.BlockGates()
-	lps := make([]*tlp, n)
+	lps := make([]*tlp[V], n)
 	for i := 0; i < n; i++ {
-		lps[i] = newTLP(sh, i, kernel.New(c, owner, i, cfg.System, watched, blockGates[i]), cfg)
+		lps[i] = newTLP(sh, i, newKernel(i, blockGates[i]), newRecorder(i), cfg)
 		lps[i].slot = board.LP(i)
-		if cfg.Boot != nil {
-			lps[i].k.SeedState(cfg.Boot.Vals, cfg.Boot.PrevClk, cfg.Boot.Projected)
+		if seedState != nil {
+			seedState(lps[i].k)
 		}
 	}
 
-	if cfg.Boot == nil {
+	if !sh.boot {
 		// Stimulus routing, as in the conservative engine: owner plus
 		// ghosts.
 		deliverTo := map[circuit.GateID][]int{}
@@ -333,17 +421,17 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			}
 			deliverTo[in] = dsts
 		}
-		for _, ch := range stim.Changes {
-			if ch.Time > until {
+		for _, ch := range stimEvents {
+			if ch.time > until {
 				continue
 			}
-			for _, dst := range deliverTo[ch.Input] {
+			for _, dst := range deliverTo[ch.gate] {
 				l := lps[dst]
-				ev := qevent{gate: ch.Input, value: cfg.System.Project(ch.Value), id: l.newID()}
-				if ch.Time == 0 {
-					l.initialEvents = append(l.initialEvents, kernel.Event{Gate: ev.gate, Value: ev.value})
+				ev := qevent[V]{gate: ch.gate, value: ch.value, id: l.newID()}
+				if ch.time == 0 {
+					l.initialEvents = append(l.initialEvents, kernel.EventT[V]{Gate: ev.gate, Value: ev.value})
 				} else {
-					l.q.Push(uint64(ch.Time), ev)
+					l.q.Push(uint64(ch.time), ev)
 				}
 			}
 		}
@@ -352,13 +440,13 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		// holding a fanout ghost — the same visibility rule as stimulus,
 		// but checkpoint events can target any gate, not just inputs.
 		seen := map[int]bool{}
-		for _, ev := range cfg.Boot.Events {
+		for _, ev := range bootEvents {
 			for b := range seen {
 				delete(seen, b)
 			}
-			seen[owner[ev.Gate]] = true
-			dsts := []int{owner[ev.Gate]}
-			for _, fo := range c.Fanout[ev.Gate] {
+			seen[owner[ev.gate]] = true
+			dsts := []int{owner[ev.gate]}
+			for _, fo := range c.Fanout[ev.gate] {
 				if b := owner[fo]; !seen[b] {
 					seen[b] = true
 					dsts = append(dsts, b)
@@ -366,13 +454,13 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 			}
 			for _, dst := range dsts {
 				l := lps[dst]
-				l.q.Push(ev.Time, qevent{gate: ev.Gate, value: ev.Value, id: l.newID()})
+				l.q.Push(uint64(ev.time), qevent[V]{gate: ev.gate, value: ev.value, id: l.newID()})
 			}
 		}
 	}
 
 	wd := supervise.Watch(supervise.WatchConfig{
-		Engine:     "timewarp",
+		Engine:     engine,
 		Timeout:    cfg.HangTimeout,
 		Board:      board,
 		QueueDepth: func(i int) int { return sh.inboxes[i].Len() },
@@ -383,25 +471,25 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	var wg gosync.WaitGroup
 	for _, l := range lps {
 		wg.Add(1)
-		go func(l *tlp) {
+		go func(l *tlp[V]) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					l.slot.SetPhase(supervise.PhaseDone)
-					l.sh.fail(supervise.FromPanic("timewarp", l.id, "run", l.lvt, r))
+					l.sh.fail(supervise.FromPanic(engine, l.id, "run", l.lvt, r))
 				}
 			}()
-			metrics.Do(sink, "timewarp", l.id, "run", func() {
+			metrics.Do(sink, engine, l.id, "run", func() {
 				l.run()
 			})
 		}(l)
 	}
 	var gvtRounds uint64
 	var finalGVT circuit.Tick
-	metrics.Do(sink, "timewarp", -1, "coordinate", func() {
+	metrics.Do(sink, engine, -1, "coordinate", func() {
 		defer func() {
 			if r := recover(); r != nil {
-				sh.fail(supervise.FromPanic("timewarp", -1, "coordinate", 0, r))
+				sh.fail(supervise.FromPanic(engine, -1, "coordinate", 0, r))
 			}
 		}()
 		gvtRounds, finalGVT = coordinate(sh, lps)
@@ -411,43 +499,20 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 
 	if sh.abort.Load() {
 		if sh.err != nil {
-			return nil, sh.err
+			return nil, nil, 0, 0, sh.err
 		}
-		return nil, &supervise.SimError{
-			Engine: "timewarp", LP: -1, Phase: "run",
+		return nil, nil, 0, 0, &supervise.SimError{
+			Engine: engine, LP: -1, Phase: "run",
 			Kind:  supervise.KindEventLimit,
 			Cause: fmt.Errorf("event limit %d exceeded", cfg.MaxEvents),
 		}
 	}
-
-	res := &Result{Values: make([]logic.Value, len(c.Gates)), GVT: finalGVT}
-	for g := range c.Gates {
-		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
-	}
-	recs := make([]*trace.Recorder, n)
-	for i, l := range lps {
-		recs[i] = &l.rec
-		res.IntraCritical = append(res.IntraCritical, l.critEval)
-		if l.lvt != infTick && l.lvt > res.EndTime {
-			res.EndTime = l.lvt
-		}
-	}
-	res.Waveform = trace.Merge(recs...)
-	sink.Globals().GVTRounds = gvtRounds
-	if finalGVT != infTick {
-		sink.SetGauge("final_gvt", float64(finalGVT))
-	}
-	if cfg.HistoryLimit > 0 {
-		sink.SetGauge("mem_throttle_rounds", float64(sh.throttleRounds))
-		sink.SetGauge("history_peak_words", float64(sh.histPeak))
-	}
-	res.Stats = stats.Collect(sink, time.Since(start))
-	return res, nil
+	return lps, sh, gvtRounds, finalGVT, nil
 }
 
 // coordinate runs the GVT/termination protocol and returns the number of
 // GVT computations performed and the final GVT.
-func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
+func coordinate[V comparable](sh *shared[V], lps []*tlp[V]) (uint64, circuit.Tick) {
 	n := len(lps)
 	var rounds uint64
 	gvt := circuit.Tick(0)
@@ -496,7 +561,7 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 		var localMins []circuit.Tick
 		for {
 			for _, ib := range sh.inboxes {
-				ib.Put(msg{kind: msgGVTRound})
+				ib.Put(msg[V]{kind: msgGVTRound})
 			}
 			var handled uint64
 			localMins = localMins[:0]
@@ -542,14 +607,14 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 		}
 		if gvt > sh.until {
 			for _, ib := range sh.inboxes {
-				ib.Put(msg{kind: msgTerminate})
+				ib.Put(msg[V]{kind: msgTerminate})
 			}
 			sh.paused.Store(false)
 			return rounds, gvt
 		}
 		sh.paused.Store(false)
 		for _, ib := range sh.inboxes {
-			ib.Put(msg{kind: msgGVTDone, time: gvt})
+			ib.Put(msg[V]{kind: msgGVTDone, time: gvt})
 		}
 	}
 }
@@ -559,7 +624,7 @@ func coordinate(sh *shared, lps []*tlp) (uint64, circuit.Tick) {
 // optimism spread (or halve an existing clamp), forcing the LPs to stay
 // near GVT so fossil collection can keep up. Under half the limit: release
 // the clamp. The hysteresis band avoids oscillating at the boundary.
-func throttle(sh *shared, localMins []circuit.Tick, gvt circuit.Tick) {
+func throttle[V comparable](sh *shared[V], localMins []circuit.Tick, gvt circuit.Tick) {
 	w := uint64(sh.histWords.Load())
 	if w > sh.histPeak {
 		sh.histPeak = w

@@ -1,0 +1,118 @@
+package timewarp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/sim/kernel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// WideResult is the outcome of a wide optimistic run.
+type WideResult struct {
+	Values   []logic.Word
+	Waveform trace.WideWaveform
+	EndTime  circuit.Tick
+	GVT      circuit.Tick
+	Lanes    int
+	Stats    stats.RunStats
+	// IntraCritical, in hybrid mode, holds each cluster's modeled
+	// evaluation critical path (per-step max chunk plus barrier costs).
+	IntraCritical []float64
+}
+
+// RunWide is the optimistic engine on 64 packed lanes: the identical Time
+// Warp protocol — speculation, rollback, anti-messages, GVT, fossil
+// collection — with every message, saved state word, and undo record
+// carrying a whole 64-lane word. Rollback restores all lanes at once, so a
+// straggler in any lane repairs every lane together. Inside each LP the
+// kernel's oblivious block sweep is armed: when the lane-union dirty set
+// reaches half the LP's block, the step evaluates the whole owned block in
+// levelized order obliviously-wide — scalar event semantics at LP
+// boundaries, batch evaluation inside. Per lane, the committed result is
+// bit-identical to a scalar optimistic run of that lane's stimulus.
+//
+// The wide path does not support checkpoint boot or chaos injection; those
+// Config fields must be unset.
+func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick, cfg Config) (*WideResult, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("timewarp: Config.Partition is required")
+	}
+	if err := cfg.Partition.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := c.CheckEventDriven(); err != nil {
+		return nil, err
+	}
+	if cfg.Boot != nil {
+		return nil, fmt.Errorf("timewarp: wide runs do not support checkpoint boot")
+	}
+	if cfg.Chaos != nil {
+		return nil, fmt.Errorf("timewarp: wide runs do not support chaos injection")
+	}
+	if cfg.System == 0 {
+		cfg.System = logic.FourValued
+	}
+	if err := logic.CheckWide(cfg.System); err != nil {
+		return nil, err
+	}
+	sink := cfg.Metrics
+	if sink == nil {
+		sink = metrics.NewRegistry("timewarp-wide")
+	}
+	start := time.Now()
+
+	n := cfg.Partition.Blocks
+	owner := cfg.Partition.Assign
+	watched := cfg.Watch
+	if watched == nil {
+		watched = c.Outputs
+	}
+
+	stimEvents := make([]stimChange[logic.Word], 0, len(stim.Changes))
+	for _, ch := range stim.Changes {
+		stimEvents = append(stimEvents, stimChange[logic.Word]{ch.Time, ch.Input, ch.Word})
+	}
+
+	recs := make([]trace.WideRecorder, n)
+	lps, sh, gvtRounds, finalGVT, err := runCore(c, until, cfg, sink, "timewarp-wide",
+		stimEvents, nil, nil,
+		func(self int, own []circuit.GateID) *kernel.WideLP {
+			k := kernel.NewWide(c, owner, self, cfg.System, watched, own)
+			k.EnableSweep(kernel.SweepThreshold(len(own)))
+			return k
+		},
+		func(lp int) recorderOf[logic.Word] { return &recs[lp] })
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WideResult{Values: make([]logic.Word, len(c.Gates)), GVT: finalGVT, Lanes: stim.Lanes}
+	for g := range c.Gates {
+		res.Values[g] = lps[owner[g]].k.Value(circuit.GateID(g))
+	}
+	recPtrs := make([]*trace.WideRecorder, n)
+	for i, l := range lps {
+		recPtrs[i] = &recs[i]
+		res.IntraCritical = append(res.IntraCritical, l.critEval)
+		if l.lvt != infTick && l.lvt > res.EndTime {
+			res.EndTime = l.lvt
+		}
+	}
+	res.Waveform = trace.MergeWide(recPtrs...)
+	sink.Globals().GVTRounds = gvtRounds
+	if finalGVT != infTick {
+		sink.SetGauge("final_gvt", float64(finalGVT))
+	}
+	if cfg.HistoryLimit > 0 {
+		sink.SetGauge("mem_throttle_rounds", float64(sh.throttleRounds))
+		sink.SetGauge("history_peak_words", float64(sh.histPeak))
+	}
+	res.Stats = stats.Collect(sink, time.Since(start))
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// WideSample is one committed whole-word change on a watched net: at Time
+// at least one lane of Gate changed to the corresponding lane of Word.
+// Unchanged lanes carry their previous value, so the word is always the
+// complete 64-lane state of the net at Time.
+type WideSample struct {
+	Time circuit.Tick
+	Gate circuit.GateID
+	Word logic.Word
+}
+
+// WideWaveform is a canonical wide change history sorted by (Time, Gate).
+type WideWaveform []WideSample
+
+// WideRecorder accumulates wide samples in nondecreasing time order, the
+// word-valued counterpart of Recorder.
+type WideRecorder struct {
+	samples []WideSample
+}
+
+// Record appends a whole-word change. Engines call it only when the new
+// word differs from the net's previous committed word in at least one
+// lane; per-lane deduplication happens at extraction time in Lane.
+func (r *WideRecorder) Record(t circuit.Tick, g circuit.GateID, w logic.Word) {
+	r.samples = append(r.samples, WideSample{t, g, w})
+}
+
+// TruncateFrom discards all samples with Time >= t (rollback support).
+func (r *WideRecorder) TruncateFrom(t circuit.Tick) {
+	i := sort.Search(len(r.samples), func(i int) bool { return r.samples[i].Time >= t })
+	r.samples = r.samples[:i]
+}
+
+// Len returns the number of recorded wide samples.
+func (r *WideRecorder) Len() int { return len(r.samples) }
+
+// MergeWide combines wide recorder shards into one canonical waveform.
+func MergeWide(recs ...*WideRecorder) WideWaveform {
+	var n int
+	for _, r := range recs {
+		n += len(r.samples)
+	}
+	w := make(WideWaveform, 0, n)
+	for _, r := range recs {
+		w = append(w, r.samples...)
+	}
+	sort.Slice(w, func(i, j int) bool {
+		if w[i].Time != w[j].Time {
+			return w[i].Time < w[j].Time
+		}
+		return w[i].Gate < w[j].Gate
+	})
+	return w
+}
+
+// Lane extracts one lane of the wide waveform as a scalar waveform,
+// keeping only genuine changes: a wide sample contributes a scalar sample
+// for the lane exactly when that lane's value differs from the lane's
+// previous value on the same net (starting from initial, the committed
+// value of each net after time-zero initialization). The result is what a
+// scalar engine driven with lane k's stimulus would have recorded, which
+// is the conformance-suite oracle.
+func (w WideWaveform) Lane(lane int, initial func(circuit.GateID) logic.Value) Waveform {
+	cur := make(map[circuit.GateID]logic.Value)
+	out := make(Waveform, 0, len(w))
+	for _, s := range w {
+		v := s.Word.Get(lane)
+		prev, seen := cur[s.Gate]
+		if !seen {
+			prev = initial(s.Gate)
+		}
+		if v == prev {
+			continue
+		}
+		cur[s.Gate] = v
+		out = append(out, Sample{Time: s.Time, Gate: s.Gate, Value: v})
+	}
+	return out
+}
+
+// ValueAt reconstructs lane's value of gate g at time t (samples at
+// exactly t included), starting from initial.
+func (w WideWaveform) ValueAt(g circuit.GateID, lane int, t circuit.Tick, initial logic.Value) logic.Value {
+	v := initial
+	for _, s := range w {
+		if s.Time > t {
+			break
+		}
+		if s.Gate == g {
+			v = s.Word.Get(lane)
+		}
+	}
+	return v
+}
+
+// EqualWide reports whether two wide waveforms are identical.
+func EqualWide(a, b WideWaveform) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
