@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -261,4 +262,124 @@ func TestMaxEventsGenerousLimitPasses(t *testing.T) {
 	if err != nil {
 		t.Fatalf("generous limit aborted: %v\n%s", err, out)
 	}
+}
+
+// TestOptFlagRuns: -opt shrinks the generated DAG, prints the optimizer
+// summary, and the run completes on both a scalar and a parallel engine.
+// The gauge block lands in the metrics JSON on the parallel path.
+func TestOptFlagRuns(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.json")
+	stdout, stderr, code := run(t,
+		"-circuit", "dag300", "-engine", "cmb", "-lps", "4",
+		"-opt", "-metrics-out", mpath, "-vectors", "8")
+	if code != 0 {
+		t.Fatalf("-opt run failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "optimizer:") {
+		t.Errorf("stdout missing the optimizer summary:\n%s", stdout)
+	}
+	m := readFile(t, mpath)
+	for _, key := range []string{"gates_removed", "gates_hashed", "levels_before", "levels_after"} {
+		if !strings.Contains(m, key) {
+			t.Errorf("metrics JSON missing optimizer gauge %q", key)
+		}
+	}
+}
+
+// TestOptPassesImpliesOpt: naming passes runs the optimizer without -opt,
+// and an unknown pass name is a usage error.
+func TestOptPassesImpliesOpt(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-circuit", "dag300", "-engine", "seq", "-opt-passes", "constprop,dce", "-vectors", "5")
+	if code != 0 {
+		t.Fatalf("-opt-passes run failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "optimizer:") {
+		t.Errorf("stdout missing the optimizer summary:\n%s", stdout)
+	}
+	_, stderr, code = run(t,
+		"-circuit", "dag300", "-opt-passes", "nosuchpass", "-q")
+	if code == 0 {
+		t.Fatal("unknown pass name accepted")
+	}
+	if !strings.Contains(stderr, "nosuchpass") {
+		t.Errorf("stderr does not name the bad pass:\n%s", stderr)
+	}
+}
+
+// TestConeSplitRuns: -cone-split packs whole cones onto LPs; the hybrid
+// run completes and reports the cone_count gauge.
+func TestConeSplitRuns(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.json")
+	_, stderr, code := run(t,
+		"-circuit", "dag300", "-engine", "hybrid", "-lps", "4",
+		"-opt", "-cone-split", "-metrics-out", mpath, "-vectors", "8", "-q")
+	if code != 0 {
+		t.Fatalf("-cone-split run failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(readFile(t, mpath), "cone_count") {
+		t.Error("metrics JSON missing the cone_count gauge")
+	}
+}
+
+// TestOptPreservesOutputsVCD: optimized and unoptimized runs of the same
+// sequential fixture must agree on every primary-output waveform. The VCD
+// is filtered to output nets because internal nodes legitimately disappear.
+func TestOptPreservesOutputsVCD(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.vcd")
+	opt := filepath.Join(dir, "opt.vcd")
+	for path, extra := range map[string][]string{plain: nil, opt: {"-opt"}} {
+		args := append([]string{
+			"-circuit", "lfsr16", "-engine", "seq", "-vectors", "10", "-vcd", path, "-q"}, extra...)
+		if _, stderr, code := run(t, args...); code != 0 {
+			t.Fatalf("run for %s failed:\n%s", path, stderr)
+		}
+	}
+	want, got := outputChanges(t, plain), outputChanges(t, opt)
+	if len(want) == 0 {
+		t.Fatal("no output activity in the baseline VCD")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("optimized output waveform drifted:\n plain %v\n opt   %v", want, got)
+	}
+}
+
+// outputChanges extracts the value-change history of nets named out* / q* /
+// sum* / cout* from a VCD file, keyed by net name.
+func outputChanges(t *testing.T, path string) map[string][]string {
+	t.Helper()
+	body := readFile(t, path)
+	id2name := map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 5 && f[0] == "$var" {
+			id2name[f[3]] = f[4]
+		}
+	}
+	isOut := func(name string) bool {
+		for _, p := range []string{"out", "q", "sum", "cout"} {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	changes := map[string][]string{}
+	now := ""
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "#"):
+			now = line
+		case len(line) >= 2 && !strings.HasPrefix(line, "$"):
+			val, id := line[:1], line[1:]
+			if name, ok := id2name[id]; ok && isOut(name) {
+				changes[name] = append(changes[name], now+"="+val)
+			}
+		}
+	}
+	return changes
 }

@@ -28,6 +28,8 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/gen"
 	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/opt"
 	"repro/internal/partition"
 	"repro/internal/sim/ckpt"
 	"repro/internal/sim/timewarp"
@@ -54,6 +56,9 @@ func main() {
 		engineName = flag.String("engine", "seq", "engine: seq, oblivious, sync, cmb, cmb-demand, cmb-detect, timewarp, timewarp-lazy, hybrid")
 		lps        = flag.Int("lps", 4, "logical processes / workers")
 		partName   = flag.String("partition", "fm", "partitioner: random, contiguous, strings, cones, levels, kl, fm, anneal, multilevel")
+		optimize   = flag.Bool("opt", false, "run the netlist optimizer pipeline before simulation")
+		optPasses  = flag.String("opt-passes", "", "comma-separated optimizer passes (implies -opt; default constprop,hash,bufclean,dce; also: invpair, balance)")
+		coneSplit  = flag.Bool("cone-split", false, "group whole combinational cones onto LPs and evaluate each obliviously in one sweep (overrides -partition)")
 		presim     = flag.Bool("presim", false, "weight the partitioner with a pre-simulation profile")
 		system     = flag.Int("system", 9, "logic value system: 2, 4, or 9")
 		queueName  = flag.String("queue", "heap", "pending-event set: heap, calendar, wheel")
@@ -102,6 +107,23 @@ func main() {
 	c, err := loadCircuit(*benchPath, *circName, *fineDelays, *seed)
 	fatal(err)
 
+	// The optimizer runs before stimulus generation: primary inputs and
+	// outputs always survive with their names, so stimuli and VCD watch
+	// lists built against the optimized netlist resolve identically.
+	var ostats *opt.Stats
+	if *optimize || *optPasses != "" {
+		passes, err := opt.ParsePasses(*optPasses)
+		fatal(err)
+		res, err := opt.Optimize(c, opt.Options{Passes: passes})
+		fatal(err)
+		c, ostats = res.Circuit, &res.Stats
+		if !*quiet {
+			fmt.Printf("optimizer: %d -> %d gates (hashed=%d folds=%d bufs=%d dead=%d), depth %d -> %d, %d rounds\n",
+				ostats.GatesBefore, ostats.GatesAfter, ostats.GatesHashed, ostats.ConstFolds,
+				ostats.BufsCleaned, ostats.DeadRemoved, ostats.LevelsBefore, ostats.LevelsAfter, ostats.Rounds)
+		}
+	}
+
 	stim, err := makeStimulus(c, *nvectors, *activity, circuit.Tick(*period), *seed)
 	fatal(err)
 
@@ -137,7 +159,7 @@ func main() {
 	opts := core.Options{
 		Engine: engine, LPs: *lps, Partition: method, PartitionSeed: *seed,
 		System: sys, Queue: queue, Window: circuit.Tick(*window),
-		MaxEvents: *maxEvents,
+		MaxEvents: *maxEvents, ConeSplit: *coneSplit,
 	}
 	if *traceOut != "" {
 		opts.Tracer = trace.NewTracer(engine.String())
@@ -199,12 +221,13 @@ func main() {
 
 	if *wide {
 		runWide(c, *lanes, *nvectors, *activity, circuit.Tick(*period), *seed, opts,
-			*vcdPath, *metricsOut, *traceOut, *quiet)
+			*vcdPath, *metricsOut, *traceOut, *quiet, ostats)
 		return
 	}
 
 	rep, err := core.Simulate(c, stim, until, opts)
 	fatal(err)
+	addOptGauges(rep.Metrics, ostats)
 
 	if rep.Supervision != nil && !*quiet {
 		fmt.Printf("supervision: final-engine=%s recoveries=%d fallbacks=%d\n",
@@ -274,7 +297,7 @@ func main() {
 // checkpointing, restore, fault injection, and the nine-valued system have
 // no wide counterpart and are rejected up front.
 func runWide(c *circuit.Circuit, lanes, vecs int, activity float64, period circuit.Tick,
-	seed int64, opts core.Options, vcdPath, metricsOut, traceOut string, quiet bool) {
+	seed int64, opts core.Options, vcdPath, metricsOut, traceOut string, quiet bool, ostats *opt.Stats) {
 	switch {
 	case opts.System == logic.NineValued:
 		fatal(fmt.Errorf("-wide needs -system 2 or 4: nine-valued signals do not pack into two-bit lanes"))
@@ -300,6 +323,7 @@ func runWide(c *circuit.Circuit, lanes, vecs int, activity float64, period circu
 	rep, err := core.SimulateWide(c, ws, until, opts)
 	fatal(err)
 	wall := time.Since(start)
+	addOptGauges(rep.Metrics, ostats)
 
 	fmt.Printf("engine=%s-wide lps=%d lanes=%d vectors=%d vectors/s=%.0f wall=%v\n",
 		opts.Engine, rep.Processors, rep.Lanes, rep.Vectors, rep.VectorsPerSec,
@@ -350,6 +374,21 @@ func runWide(c *circuit.Circuit, lanes, vecs int, activity float64, period circu
 				opts.Tracer.TotalSpans(), opts.Tracer.Dropped(), traceOut)
 		}
 	}
+}
+
+// addOptGauges publishes the optimizer's headline numbers into the run's
+// metrics report (cone_count is set by core when -cone-split is active).
+func addOptGauges(rep *metrics.Report, st *opt.Stats) {
+	if rep == nil || st == nil {
+		return
+	}
+	if rep.Gauges == nil {
+		rep.Gauges = make(map[string]float64, 4)
+	}
+	rep.Gauges["gates_removed"] = float64(st.GatesRemoved)
+	rep.Gauges["gates_hashed"] = float64(st.GatesHashed)
+	rep.Gauges["levels_before"] = float64(st.LevelsBefore)
+	rep.Gauges["levels_after"] = float64(st.LevelsAfter)
 }
 
 // makeWideStimulus is makeStimulus on the wide plane: lanes independent

@@ -21,8 +21,10 @@ import (
 	"repro/internal/gen"
 	"repro/internal/logic"
 	"repro/internal/metrics"
+	"repro/internal/opt"
 	"repro/internal/partition"
 	"repro/internal/sim/cmb"
+	"repro/internal/sim/hybrid"
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/timewarp"
 	"repro/internal/vectors"
@@ -35,10 +37,13 @@ type Benchmark struct {
 }
 
 // All returns the full suite: microbenchmarks first, then the wide-plane
-// rows, then the per-engine end-to-end runs.
+// rows, the optimizer and cone-split rows, then the per-engine end-to-end
+// runs.
 func All() []Benchmark {
 	out := Micro()
 	out = append(out, Wide()...)
+	out = append(out, Opt()...)
+	out = append(out, ConeSplit()...)
 	return append(out, Engines()...)
 }
 
@@ -97,6 +102,31 @@ func Wide() []Benchmark {
 			})
 	}
 	return out
+}
+
+// Opt returns the netlist-optimizer rows: the pipeline's own cost on a
+// mid-sized DAG (with the headline reduction ratios as extra metrics), and
+// a plain/optimized pair of end-to-end conservative runs on the
+// BenchCMBRound workload so the event-count win of simulating the smaller
+// netlist shows up as a wall-clock and nulls/run delta.
+func Opt() []Benchmark {
+	return []Benchmark{
+		{"Opt/Pipeline", BenchOptPipeline},
+		{"Opt/CMBRound", BenchOptCMBRound},
+	}
+}
+
+// ConeSplit returns the cone-partition rows: the BenchCMBRound workload
+// rerun with whole combinational cones packed per LP and the oblivious
+// block sweep armed, on the conservative and hybrid engines. The headline
+// is nulls/run versus the stock CMBRound row — cone boundaries coincide
+// with sequential boundaries, so almost all synchronization null traffic
+// disappears.
+func ConeSplit() []Benchmark {
+	return []Benchmark{
+		{"ConeSplit/CMBRound", BenchConeSplitCMBRound},
+		{"ConeSplit/HybridRound", BenchConeSplitHybridRound},
+	}
 }
 
 // kernelFixture builds a single-LP executor over a mid-sized DAG with two
@@ -343,6 +373,115 @@ func BenchCMBRound(b *testing.B) {
 		nulls = res.Stats.Total().NullsSent
 	}
 	b.ReportMetric(float64(nulls), "nulls/run")
+}
+
+// BenchOptPipeline measures the optimizer pipeline itself (default exact
+// passes, run to fixpoint) on the benchEngine netlist. gates-removed/op and
+// depth-after are the headline reduction the pipeline buys; ns/op is its
+// one-time cost against the per-run savings in the Opt/CMBRound row.
+func BenchOptPipeline(b *testing.B) {
+	c, err := gen.RandomDAG(gen.RandomConfig{Gates: 1200, Inputs: 24, Outputs: 12, Locality: 0.6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st opt.Stats
+	for i := 0; i < b.N; i++ {
+		res, err := opt.Optimize(c, opt.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = res.Stats
+	}
+	b.ReportMetric(float64(st.GatesBefore-st.GatesAfter), "gates-removed/op")
+	b.ReportMetric(float64(st.LevelsBefore), "depth-before")
+	b.ReportMetric(float64(st.LevelsAfter), "depth-after")
+}
+
+// BenchOptCMBRound is BenchCMBRound after the optimizer: the identical
+// workload, with the netlist optimized (and the stimulus remapped) before
+// partitioning. Compare ns/op and nulls/run directly against CMBRound —
+// the delta is what simulating the smaller netlist saves every run.
+func BenchOptCMBRound(b *testing.B) {
+	fx := newRunFixture(b, 300, 8, partition.MethodFM, false)
+	ores, err := opt.Optimize(fx.c, opt.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim, err := ores.Remap.Stimulus(fx.stim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := partition.New(partition.MethodFM, ores.Circuit, 8, partition.Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nulls uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cmb.Run(ores.Circuit, stim, fx.until, cmb.Config{
+			Partition: part, Mode: cmb.NullEager, System: logic.TwoValued,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nulls = res.Stats.Total().NullsSent
+	}
+	b.ReportMetric(float64(nulls), "nulls/run")
+	b.ReportMetric(float64(ores.Stats.GatesBefore-ores.Stats.GatesAfter), "gates-removed")
+}
+
+// BenchConeSplitCMBRound is BenchCMBRound under the cone-split partition
+// with the oblivious block sweep armed: whole combinational cones evaluate
+// in one levelized pass per timestep and LPs exchange real events only at
+// sequential/source boundaries. nulls/run against the stock CMBRound row is
+// the null-traffic reduction the cone grouping exists for.
+func BenchConeSplitCMBRound(b *testing.B) {
+	fx := newRunFixture(b, 300, 8, partition.MethodFM, false)
+	part, err := partition.New(partition.MethodConeSplit, fx.c, 8, partition.Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nulls uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cmb.Run(fx.c, fx.stim, fx.until, cmb.Config{
+			Partition: part, Mode: cmb.NullEager, System: logic.TwoValued, Sweep: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nulls = res.Stats.Total().NullsSent
+	}
+	b.ReportMetric(float64(nulls), "nulls/run")
+	b.ReportMetric(float64(part.Blocks), "lps")
+}
+
+// BenchConeSplitHybridRound runs the same workload on the hybrid engine
+// with cone clusters: fat oblivious cones inside, optimistic synchronization
+// only between sequential frontiers.
+func BenchConeSplitHybridRound(b *testing.B) {
+	fx := newRunFixture(b, 300, 8, partition.MethodFM, false)
+	part, err := partition.New(partition.MethodConeSplit, fx.c, 8, partition.Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rollbacks uint64
+	for i := 0; i < b.N; i++ {
+		res, err := hybrid.Run(fx.c, fx.stim, fx.until, hybrid.Config{
+			Partition: part, IntraWorkers: 2, System: logic.TwoValued, Sweep: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rollbacks = res.Stats.Total().Rollbacks
+	}
+	b.ReportMetric(float64(rollbacks), "rollbacks/run")
 }
 
 // BenchTimeWarpRollback measures a full optimistic run on a clocked

@@ -94,6 +94,13 @@ type Options struct {
 	LPs int
 	// Partition selects the gate-assignment heuristic.
 	Partition partition.Method
+	// ConeSplit overrides Partition with the cone-split mode: whole
+	// combinational cones (bounded at sequential elements and sources)
+	// become fat LPs whose kernels evaluate obliviously in one levelized
+	// sweep once active, so the parallel engines synchronize only at
+	// state-element boundaries. Honored by the cmb, timewarp, and hybrid
+	// engines; the sync engine gets the partition but not the sweep.
+	ConeSplit bool
 	// PartitionSeed feeds randomized partitioners.
 	PartitionSeed int64
 	// Weights are pre-simulation load estimates for the partitioner.
@@ -261,16 +268,33 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 	}
 
 	var part *partition.Partition
+	coneCount := -1
 	if opts.Engine.Parallel() {
-		var err error
-		part, err = partition.New(opts.Partition, c, opts.LPs, partition.Options{
-			Weights: opts.Weights,
-			Seed:    opts.PartitionSeed,
-		})
-		if err != nil {
-			return nil, err
+		if opts.ConeSplit {
+			lps := opts.LPs
+			if lps < 1 {
+				lps = 4
+			}
+			w := opts.Weights
+			if w == nil {
+				w = partition.WeightsUniform(c)
+			}
+			part, coneCount = partition.ConeSplit(c, lps, w)
+			if err := part.Validate(c); err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			part, err = partition.New(opts.Partition, c, opts.LPs, partition.Options{
+				Weights: opts.Weights,
+				Seed:    opts.PartitionSeed,
+			})
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
+	sweep := opts.ConeSplit
 
 	rep = &Report{Engine: opts.Engine, Processors: opts.LPs}
 	switch opts.Engine {
@@ -323,7 +347,7 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 			Partition: part, Mode: mode, System: opts.System, Queue: opts.Queue,
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
-			HangTimeout: hangTimeout, Boot: opts.Restore,
+			HangTimeout: hangTimeout, Boot: opts.Restore, Sweep: sweep,
 		})
 		if err != nil {
 			return nil, err
@@ -342,6 +366,7 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
 			HangTimeout: hangTimeout, HistoryLimit: opts.HistoryLimit, Boot: opts.Restore,
+			Sweep: sweep,
 		})
 		if err != nil {
 			return nil, err
@@ -357,6 +382,7 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
 			HangTimeout: hangTimeout, HistoryLimit: opts.HistoryLimit, Boot: opts.Restore,
+			Sweep: sweep,
 		})
 		if err != nil {
 			return nil, err
@@ -372,7 +398,14 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 		reg.SetLabel("engine", opts.Engine.String())
 		reg.SetLabel("lps", fmt.Sprint(rep.Processors))
 		if opts.Engine.Parallel() {
-			reg.SetLabel("partition", opts.Partition.String())
+			if opts.ConeSplit {
+				reg.SetLabel("partition", partition.MethodConeSplit.String())
+			} else {
+				reg.SetLabel("partition", opts.Partition.String())
+			}
+		}
+		if coneCount >= 0 {
+			reg.SetGauge("cone_count", float64(coneCount))
 		}
 		rep.Metrics = reg.Report()
 	}

@@ -47,28 +47,7 @@ func Anneal(c *circuit.Circuit, k int, w Weights, seed int64, moves int) *Partit
 	// localCut computes the cut links contributed by the nets incident to
 	// gate g (its own output net plus each fanin net).
 	seen := make(map[int]bool, 8)
-	localCut := func(g circuit.GateID) int {
-		cut := 0
-		clear(seen)
-		src := p.Assign[g]
-		for _, dst := range c.Fanout[g] {
-			if db := p.Assign[dst]; db != src && !seen[db] {
-				seen[db] = true
-				cut++
-			}
-		}
-		for _, f := range c.Gates[g].Fanin {
-			fb := p.Assign[f]
-			clear(seen)
-			for _, dst := range c.Fanout[f] {
-				if db := p.Assign[dst]; db != fb && !seen[db] {
-					seen[db] = true
-					cut++
-				}
-			}
-		}
-		return cut
-	}
+	localCut := func(g circuit.GateID) int { return localCutLinks(c, p.Assign, g, seen) }
 	// imbalancePenalty is quadratic in each block's deviation from target,
 	// normalized so it is commensurate with cut counts.
 	lambda := 4.0 / (target*target + 1)
@@ -113,4 +92,47 @@ func Anneal(c *circuit.Circuit, k int, w Weights, seed int64, moves int) *Partit
 		temp *= cooling
 	}
 	return p
+}
+
+// netCutLinks counts the cut links of net src under assign: the number of
+// distinct consumer blocks other than the driver's own. Circuit.Fanout is
+// already deduplicated, so a consumer reading src through several pins
+// contributes its block once.
+func netCutLinks(c *circuit.Circuit, assign []int, src circuit.GateID, seen map[int]bool) int {
+	cut := 0
+	clear(seen)
+	sb := assign[src]
+	for _, dst := range c.Fanout[src] {
+		if db := assign[dst]; db != sb && !seen[db] {
+			seen[db] = true
+			cut++
+		}
+	}
+	return cut
+}
+
+// localCutLinks sums the cut links of every net incident to gate g: its
+// own output net plus each distinct fanin net. Gate.Fanin, unlike
+// Circuit.Fanout, is NOT deduplicated — a gate may read one net through
+// two pins (structural hashing produces exactly that shape when it merges
+// a gate's two fanin drivers) — so duplicate fanin entries must be
+// skipped or the net's contribution is double-counted, biasing every
+// annealing accept/reject delta on such circuits.
+func localCutLinks(c *circuit.Circuit, assign []int, g circuit.GateID, seen map[int]bool) int {
+	cut := netCutLinks(c, assign, g, seen)
+	fanin := c.Gates[g].Fanin
+	for pi, f := range fanin {
+		dup := false
+		for _, prev := range fanin[:pi] {
+			if prev == f {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		cut += netCutLinks(c, assign, f, seen)
+	}
+	return cut
 }

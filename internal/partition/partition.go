@@ -168,6 +168,7 @@ const (
 	MethodFM
 	MethodAnneal
 	MethodMultilevel
+	MethodConeSplit
 )
 
 // String names the method.
@@ -191,13 +192,15 @@ func (m Method) String() string {
 		return "anneal"
 	case MethodMultilevel:
 		return "multilevel"
+	case MethodConeSplit:
+		return "cone-split"
 	}
 	return fmt.Sprintf("Method(%d)", uint8(m))
 }
 
 // ParseMethod converts a method name to a Method.
 func ParseMethod(s string) (Method, error) {
-	for m := MethodRandom; m <= MethodMultilevel; m++ {
+	for m := MethodRandom; m <= MethodConeSplit; m++ {
 		if m.String() == s {
 			return m, nil
 		}
@@ -248,6 +251,8 @@ func New(m Method, c *circuit.Circuit, k int, opts Options) (*Partition, error) 
 		p = Anneal(c, k, opts.Weights, opts.Seed, opts.AnnealMoves)
 	case MethodMultilevel:
 		p = Multilevel(c, k, opts.Weights, opts.Seed)
+	case MethodConeSplit:
+		p, _ = ConeSplit(c, k, opts.Weights)
 	default:
 		return nil, fmt.Errorf("partition: unknown method %v", m)
 	}

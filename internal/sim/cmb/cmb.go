@@ -109,6 +109,12 @@ type Config struct {
 	// time-0 settling step skipped. Result.Waveform holds only samples
 	// after the boundary (callers prepend the checkpoint's prefix).
 	Boot *ckpt.State
+	// Sweep arms the kernel's oblivious block sweep on the scalar LPs (the
+	// wide LPs always arm it): once a step's dirty set covers half an LP's
+	// block, the whole block is evaluated in one levelized pass. Intended
+	// for cone-split partitions, whose fat per-cone blocks saturate the
+	// dirty set on nearly every active step.
+	Sweep bool
 }
 
 // Result is the outcome of a conservative run.
@@ -312,7 +318,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	lps, sh, err := runCore(c, until, cfg, sink, "cmb",
 		stimEvents, bootEvents, seedState,
 		func(self int, own []circuit.GateID) *kernel.LP {
-			return kernel.New(c, cfg.Partition.Assign, self, cfg.System, watched, own)
+			k := kernel.New(c, cfg.Partition.Assign, self, cfg.System, watched, own)
+			if cfg.Sweep {
+				k.EnableSweep(kernel.SweepThreshold(len(own)))
+			}
+			return k
 		},
 		func(lp int, t circuit.Tick, g circuit.GateID, v logic.Value) {
 			recs[lp].Record(t, g, v)

@@ -63,6 +63,11 @@ type Config struct {
 	HangTimeout  time.Duration
 	HistoryLimit uint64
 	Boot         *ckpt.State
+	// Sweep arms the oblivious block sweep inside each cluster; see
+	// timewarp.Config.Sweep. The natural companion of a cone-split
+	// partition: whole combinational cones evaluate in one levelized pass
+	// and clusters synchronize only at sequential boundaries.
+	Sweep bool
 }
 
 // Result is the outcome of a hybrid run.
@@ -112,6 +117,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		HangTimeout:  cfg.HangTimeout,
 		HistoryLimit: cfg.HistoryLimit,
 		Boot:         cfg.Boot,
+		Sweep:        cfg.Sweep,
 	})
 	if err != nil {
 		return nil, err

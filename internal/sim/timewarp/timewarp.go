@@ -159,6 +159,12 @@ type Config struct {
 	// time-zero settling step is skipped. The returned waveform covers
 	// only the resumed suffix.
 	Boot *ckpt.State
+	// Sweep arms the kernel's oblivious block sweep on the scalar LPs (the
+	// wide LPs always arm it): once a step's dirty set covers half an LP's
+	// block, the whole block is evaluated in one levelized pass. Intended
+	// for cone-split partitions, whose fat per-cone blocks saturate the
+	// dirty set on nearly every active step.
+	Sweep bool
 }
 
 // Result is the outcome of an optimistic run.
@@ -326,7 +332,11 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	lps, sh, gvtRounds, finalGVT, err := runCore(c, until, cfg, sink, "timewarp",
 		stimEvents, bootEvents, seedState,
 		func(self int, own []circuit.GateID) *kernel.LP {
-			return kernel.New(c, owner, self, cfg.System, watched, own)
+			k := kernel.New(c, owner, self, cfg.System, watched, own)
+			if cfg.Sweep {
+				k.EnableSweep(kernel.SweepThreshold(len(own)))
+			}
+			return k
 		},
 		func(lp int) recorderOf[logic.Value] { return &recs[lp] })
 	if err != nil {

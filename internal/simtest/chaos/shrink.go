@@ -14,25 +14,35 @@ import "repro/internal/simtest/chaos/inject"
 // injected faults (the interesting kind of finding) fails with no faults
 // at all, and that is the smallest possible repro.
 func Shrink(plan inject.Plan, fullFailure string, run func(inject.Plan) string, budget int) ([]int, string) {
-	probes := 0
-	fails := func(idx []int) (bool, string) {
-		if probes >= budget {
-			return false, ""
-		}
-		probes++
+	return ShrinkIndices(len(plan), fullFailure, func(idx []int) (bool, string) {
 		sub := make(inject.Plan, 0, len(idx))
 		for _, i := range idx {
 			sub = append(sub, plan[i])
 		}
 		f := run(sub)
 		return f != "", f
+	}, budget)
+}
+
+// ShrinkIndices is the ddmin core underneath Shrink, generalized to any
+// failure predicate over subsets of the indices [0, n): it is also reused
+// by the optimizer-equivalence suite to minimize failing pass subsets.
+// fails must be deterministic over subsets; budget caps its invocations.
+func ShrinkIndices(size int, fullFailure string, failsFn func([]int) (bool, string), budget int) ([]int, string) {
+	probes := 0
+	fails := func(idx []int) (bool, string) {
+		if probes >= budget {
+			return false, ""
+		}
+		probes++
+		return failsFn(idx)
 	}
 
 	if ok, f := fails(nil); ok {
 		return []int{}, f
 	}
 
-	cur := allIndices(len(plan))
+	cur := allIndices(size)
 	curFailure := fullFailure
 	n := 2
 	for len(cur) >= 2 && probes < budget {

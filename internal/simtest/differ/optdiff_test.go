@@ -1,0 +1,58 @@
+package differ
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+)
+
+// TestOptimizerEquivalence is the optimizer property suite: randomized
+// netlists, pass subsets, engines (scalar and wide paths), partitions, and
+// value systems — every trial's optimized primary-output waveform must be
+// bit-identical to the unoptimized sequential reference.
+func TestOptimizerEquivalence(t *testing.T) {
+	trials := 48
+	if testing.Short() {
+		trials = 12
+	}
+	cfg := OptDiffConfig{Seed: 20260808}
+	for i := 0; i < trials; i++ {
+		tr, err := GenOptTrial(cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOptimizerEquivalencePerPass pins each exact pass individually on
+// every engine family, so a regression names the pass directly instead of
+// depending on the randomized subset sampler to hit it.
+func TestOptimizerEquivalencePerPass(t *testing.T) {
+	engines := []core.Engine{
+		core.EngineSeq, core.EngineSync, core.EngineCMB,
+		core.EngineTimeWarp, core.EngineHybrid,
+	}
+	if testing.Short() {
+		engines = []core.Engine{core.EngineSeq, core.EngineCMB}
+	}
+	for _, pass := range opt.DefaultPasses {
+		pass := pass
+		t.Run(pass, func(t *testing.T) {
+			for ei, engine := range engines {
+				cfg := OptDiffConfig{Seed: 77, Engines: []core.Engine{engine}}
+				tr, err := GenOptTrial(cfg, ei)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr.Passes = []string{pass}
+				if err := tr.Check(); err != nil {
+					t.Fatalf("engine %v: %v", engine, err)
+				}
+			}
+		})
+	}
+}
