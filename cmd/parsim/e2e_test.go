@@ -347,6 +347,119 @@ func TestOptPreservesOutputsVCD(t *testing.T) {
 	}
 }
 
+// TestAdaptFlagMatrix pins the -adapt flag surface: what it rejects,
+// what it composes with, and how failures inside an adaptive run are
+// classified.
+func TestAdaptFlagMatrix(t *testing.T) {
+	t.Run("rejects-wide", func(t *testing.T) {
+		_, stderr, code := run(t,
+			"-circuit", "ripple8", "-engine", "cmb", "-adapt", "-wide", "-system", "2", "-q")
+		if code == 0 {
+			t.Fatal("-adapt -wide accepted")
+		}
+		if !strings.Contains(stderr, "-wide") {
+			t.Errorf("stderr does not explain the -wide conflict:\n%s", stderr)
+		}
+	})
+	t.Run("rejects-serial-engine", func(t *testing.T) {
+		_, stderr, code := run(t,
+			"-circuit", "ripple8", "-engine", "seq", "-adapt", "-q")
+		if code == 0 {
+			t.Fatal("-adapt with -engine seq accepted")
+		}
+		if !strings.Contains(stderr, "parallel engine") {
+			t.Errorf("stderr does not name the constraint:\n%s", stderr)
+		}
+	})
+	t.Run("rejects-bad-spec", func(t *testing.T) {
+		_, stderr, code := run(t,
+			"-circuit", "ripple8", "-engine", "cmb", "-adapt-spec", "{not json", "-q")
+		if code == 0 {
+			t.Fatal("malformed inline spec accepted")
+		}
+		if !strings.Contains(stderr, "parse spec") {
+			t.Errorf("stderr does not classify the parse failure:\n%s", stderr)
+		}
+		_, stderr, code = run(t,
+			"-circuit", "ripple8", "-engine", "cmb", "-adapt-spec", "no-such-file.json", "-q")
+		if code == 0 {
+			t.Fatal("missing spec file accepted")
+		}
+		if !strings.Contains(stderr, "read spec") {
+			t.Errorf("stderr does not classify the read failure:\n%s", stderr)
+		}
+	})
+	t.Run("event-limit-exit-code", func(t *testing.T) {
+		_, stderr, code := run(t,
+			"-circuit", "ripple8", "-engine", "cmb", "-lps", "2", "-adapt", "-max-events", "10", "-q")
+		if code != exitEventLimit {
+			t.Fatalf("exit code %d, want %d:\n%s", code, exitEventLimit, stderr)
+		}
+	})
+	t.Run("composes-with-supervise-and-checkpoints", func(t *testing.T) {
+		dir := t.TempDir()
+		stdout, stderr, code := run(t,
+			"-circuit", "ripple8", "-engine", "timewarp", "-lps", "2",
+			"-adapt", "-supervise", "-retries", "1",
+			"-checkpoint-every", "400", "-checkpoint-dir", filepath.Join(dir, "ckpts"))
+		if code != 0 {
+			t.Fatalf("composed run failed (%d):\n%s", code, stderr)
+		}
+		if !strings.Contains(stdout, "adapt: segments=") {
+			t.Errorf("stdout missing the adapt summary:\n%s", stdout)
+		}
+		if !strings.Contains(stdout, "supervision: final-engine=") {
+			t.Errorf("stdout missing the supervision summary:\n%s", stdout)
+		}
+		snaps, _ := filepath.Glob(filepath.Join(dir, "ckpts", "ckpt-*.json"))
+		if len(snaps) == 0 {
+			t.Error("adaptive run wrote no checkpoints despite -checkpoint-every")
+		}
+	})
+	t.Run("spec-implies-adapt", func(t *testing.T) {
+		stdout, stderr, code := run(t,
+			"-circuit", "ripple8", "-engine", "cmb", "-lps", "2",
+			"-adapt-spec", `{"every":500}`)
+		if code != 0 {
+			t.Fatalf("-adapt-spec without -adapt failed (%d):\n%s", code, stderr)
+		}
+		if !strings.Contains(stdout, "adapt: segments=") {
+			t.Errorf("stdout missing the adapt summary:\n%s", stdout)
+		}
+	})
+}
+
+// TestAdaptScriptedSwitchVCD forces a mid-run engine migration
+// (cmb -> timewarp via checkpoint/restart at the first boundary) and
+// requires the adaptive VCD to be byte-identical to a static run — the
+// end-to-end proof that adaptation never perturbs results.
+func TestAdaptScriptedSwitchVCD(t *testing.T) {
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden.vcd")
+	if _, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "seq", "-vcd", golden, "-q"); code != 0 {
+		t.Fatalf("golden run failed:\n%s", stderr)
+	}
+	adapted := filepath.Join(dir, "adapted.vcd")
+	spec := `{"every":500,"no_switch":true,"no_rebalance":true,` +
+		`"script":[{"round":0,"kind":"switch","to":"timewarp"}]}`
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "2",
+		"-adapt-spec", spec, "-vcd", adapted)
+	if code != 0 {
+		t.Fatalf("adaptive run failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "switch cmb -> timewarp") {
+		t.Errorf("stdout missing the decision log line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "final-engine=timewarp") {
+		t.Errorf("stdout missing the final engine:\n%s", stdout)
+	}
+	if readFile(t, adapted) != readFile(t, golden) {
+		t.Error("adaptive waveform differs from the static run")
+	}
+}
+
 // outputChanges extracts the value-change history of nets named out* / q* /
 // sum* / cout* from a VCD file, keyed by net name.
 func outputChanges(t *testing.T, path string) map[string][]string {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/partition"
+	"repro/internal/sim/adapt"
 	"repro/internal/sim/ckpt"
 	"repro/internal/sim/timewarp"
 	"repro/internal/simtest/chaos/inject"
@@ -87,6 +88,8 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "checkpoints", "directory receiving ckpt-<time>.json files")
 		restore    = flag.String("restore", "", "resume from this checkpoint file")
 		histLimit  = flag.Uint64("history-limit", 0, "Time Warp saved-history bound in words (0 = unlimited)")
+		adaptive   = flag.Bool("adapt", false, "closed-loop adaptive control: self-tune the optimism window, switch engines, and rebalance LPs mid-run")
+		adaptSpec  = flag.String("adapt-spec", "", "adaptive controller configuration: inline JSON or a path to a JSON file (implies -adapt)")
 
 		faultPanicLP = flag.Int("fault-panic-lp", -1, "chaos: panic once inside this LP (-1 = off)")
 		faultHangLP  = flag.Int("fault-hang-lp", -1, "chaos: hang this LP until the run aborts (-1 = off)")
@@ -211,6 +214,17 @@ func main() {
 		fatal(err)
 		opts.Restore = st
 	}
+	if *adaptSpec != "" {
+		*adaptive = true
+	}
+	if *adaptive {
+		if *wide {
+			fatal(fmt.Errorf("-adapt does not support -wide: the controllers drive the scalar engines' checkpoint/restart path"))
+		}
+		sp, err := adapt.ParseSpec(*adaptSpec)
+		fatal(err)
+		opts.Adapt = sp
+	}
 
 	st := c.ComputeStats()
 	if !*quiet {
@@ -228,6 +242,15 @@ func main() {
 	rep, err := core.Simulate(c, stim, until, opts)
 	fatal(err)
 	addOptGauges(rep.Metrics, ostats)
+
+	if rep.Adapt != nil && !*quiet {
+		a := rep.Adapt
+		fmt.Printf("adapt: segments=%d switches=%d rebalances=%d window-changes=%d final-engine=%s final-window=%d committed=%v\n",
+			a.Segments, a.EngineSwitches, a.Rebalances, a.WindowChanges, a.FinalEngine, a.FinalWindow, a.Committed)
+		for _, d := range a.Decisions {
+			fmt.Printf("adapt: %s\n", d)
+		}
+	}
 
 	if rep.Supervision != nil && !*quiet {
 		fmt.Printf("supervision: final-engine=%s recoveries=%d fallbacks=%d\n",

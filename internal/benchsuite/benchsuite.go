@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/partition"
+	"repro/internal/sim/adapt"
 	"repro/internal/sim/cmb"
 	"repro/internal/sim/hybrid"
 	"repro/internal/sim/kernel"
@@ -44,6 +45,7 @@ func All() []Benchmark {
 	out = append(out, Wide()...)
 	out = append(out, Opt()...)
 	out = append(out, ConeSplit()...)
+	out = append(out, Adapt()...)
 	return append(out, Engines()...)
 }
 
@@ -127,6 +129,97 @@ func ConeSplit() []Benchmark {
 		{"ConeSplit/CMBRound", BenchConeSplitCMBRound},
 		{"ConeSplit/HybridRound", BenchConeSplitHybridRound},
 	}
+}
+
+// Adapt returns the adaptive-synchronization rows: the E20 low-activity
+// workload (the CMBRound circuit at activity 0.1, where the conservative
+// protocol is null-bound) run under the two static protocol choices and
+// under closed-loop adaptive control starting from the bad one. The
+// headline comparison is wall-clock: adaptive must land near the good
+// static column despite probing, and the switches/run extra metric
+// proves the controller — not luck — got it there.
+func Adapt() []Benchmark {
+	return []Benchmark{
+		{"Adapt/StaticConservative", BenchAdaptStaticConservative},
+		{"Adapt/StaticOptimistic", BenchAdaptStaticOptimistic},
+		{"Adapt/Adaptive", BenchAdaptAdaptive},
+	}
+}
+
+// adaptRunFixture is the E20 workload: the CMBRound circuit with the
+// activity dialed down to 0.1 — where null traffic dwarfs real events on
+// a min-cut partition and the engine choice dominates wall-clock — and
+// the stimulus lengthened to 1536 vectors so the run is long enough for
+// probe segments to amortize against.
+func adaptRunFixture(b *testing.B) *runFixture {
+	b.Helper()
+	c, err := gen.RandomDAG(gen.RandomConfig{Gates: 300, Inputs: 12, Outputs: 8, Locality: 0.6, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim, err := vectors.Random(c, vectors.RandomConfig{Vectors: 1536, Period: 30, Activity: 0.1, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &runFixture{c: c, stim: stim, until: core.Horizon(c, stim)}
+}
+
+func benchAdapt(b *testing.B, engine core.Engine, spec *adapt.Spec) {
+	fx := adaptRunFixture(b)
+	opts := core.Options{
+		Engine: engine, LPs: 8, Partition: partition.MethodFM, PartitionSeed: 11,
+		System: logic.TwoValued,
+	}
+	if spec != nil {
+		sp := *spec
+		// Short probe segments (128 ticks on a ~46k-tick horizon) and a
+		// 2-segment budget keep adaptation overhead inside the 10% the
+		// E20 acceptance allows over the best static configuration.
+		sp.Every = 128
+		sp.MaxProbes = 2
+		opts.Adapt = &sp
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nulls uint64
+	var switches, segments int
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Simulate(fx.c, fx.stim, fx.until, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nulls = rep.Stats.Total().NullsSent
+		if rep.Adapt != nil {
+			switches = rep.Adapt.EngineSwitches
+			segments = rep.Adapt.Segments
+		}
+	}
+	b.ReportMetric(float64(nulls), "nulls/run")
+	if spec != nil {
+		b.ReportMetric(float64(switches), "switches/run")
+		b.ReportMetric(float64(segments), "segments/run")
+	}
+}
+
+// BenchAdaptStaticConservative is the bad static choice for the
+// low-activity workload: the eager-null conservative engine pays its
+// per-timestep null synchronization bill regardless of how few real
+// events flow.
+func BenchAdaptStaticConservative(b *testing.B) {
+	benchAdapt(b, core.EngineCMB, nil)
+}
+
+// BenchAdaptStaticOptimistic is the good static choice: Time Warp sends
+// no nulls, and the low activity produces few stragglers to roll back.
+func BenchAdaptStaticOptimistic(b *testing.B) {
+	benchAdapt(b, core.EngineTimeWarp, nil)
+}
+
+// BenchAdaptAdaptive starts on the bad engine with the closed-loop
+// controllers live: the switch supervisor observes the null-bound first
+// segment, migrates to Time Warp via checkpoint/restart, and commits.
+func BenchAdaptAdaptive(b *testing.B) {
+	benchAdapt(b, core.EngineCMB, &adapt.Spec{})
 }
 
 // kernelFixture builds a single-LP executor over a mid-sized DAG with two

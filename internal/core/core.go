@@ -16,6 +16,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/sim/adapt"
 	"repro/internal/sim/ckpt"
 	"repro/internal/sim/cmb"
 	"repro/internal/sim/hybrid"
@@ -161,6 +162,30 @@ type Options struct {
 	// checkpoint prefix plus the resumed suffix — bit-identical to an
 	// uninterrupted run. The oblivious engine does not support it.
 	Restore *ckpt.State
+
+	// Adapt, when non-nil, runs the job under closed-loop adaptive
+	// control: an AIMD optimism-window controller inside the optimistic
+	// engines, an engine-switch supervisor migrating the run between
+	// conservative and optimistic protocols via checkpoint/restart, and
+	// a load rebalancer that repartitions on measured per-LP
+	// utilization. Requires a parallel engine. Every decision lands in
+	// Report.Adapt and the adapt_* gauges; the waveform is bit-identical
+	// to a static run because every engine reproduces the sequential
+	// trajectory — adaptation changes when things execute, never what
+	// is computed. See internal/sim/adapt.
+	Adapt *adapt.Spec
+
+	// winCtl carries the live window controller from the adaptive
+	// supervisor into per-segment engine runs (internal plumbing).
+	winCtl *adapt.WindowController
+	// prebuilt carries an already-built partition (and its cone count)
+	// from the adaptive supervisor into per-segment engine runs, so
+	// short probing segments do not pay the partitioner once per
+	// segment. Engines treat the assignment as read-only (the sync
+	// engine's dynamic balancer mutates a private copy), so sharing one
+	// across segments is safe (internal plumbing).
+	prebuilt      *partition.Partition
+	prebuiltCones int
 }
 
 // SuperviseOptions configures the supervision layer.
@@ -230,6 +255,9 @@ type Report struct {
 	// Supervision, when the run was supervised, records recoveries and
 	// fallbacks.
 	Supervision *SupervisionReport
+	// Adapt, when the run was adaptive, records every controller
+	// decision and the final operating point.
+	Adapt *AdaptReport
 }
 
 // SpeedupOver computes this run's modeled speedup over a sequential
@@ -267,32 +295,9 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 		sink = reg
 	}
 
-	var part *partition.Partition
-	coneCount := -1
-	if opts.Engine.Parallel() {
-		if opts.ConeSplit {
-			lps := opts.LPs
-			if lps < 1 {
-				lps = 4
-			}
-			w := opts.Weights
-			if w == nil {
-				w = partition.WeightsUniform(c)
-			}
-			part, coneCount = partition.ConeSplit(c, lps, w)
-			if err := part.Validate(c); err != nil {
-				return nil, err
-			}
-		} else {
-			var err error
-			part, err = partition.New(opts.Partition, c, opts.LPs, partition.Options{
-				Weights: opts.Weights,
-				Seed:    opts.PartitionSeed,
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
+	part, coneCount, err := buildPartition(c, opts)
+	if err != nil {
+		return nil, err
 	}
 	sweep := opts.ConeSplit
 
@@ -366,7 +371,7 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
 			HangTimeout: hangTimeout, HistoryLimit: opts.HistoryLimit, Boot: opts.Restore,
-			Sweep: sweep,
+			Sweep: sweep, Adapt: opts.winCtl,
 		})
 		if err != nil {
 			return nil, err
@@ -382,7 +387,7 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 			Watch: opts.Watch, MaxEvents: opts.MaxEvents,
 			Metrics: sink, Tracer: opts.Tracer, Chaos: opts.Chaos,
 			HangTimeout: hangTimeout, HistoryLimit: opts.HistoryLimit, Boot: opts.Restore,
-			Sweep: sweep,
+			Sweep: sweep, Adapt: opts.winCtl,
 		})
 		if err != nil {
 			return nil, err
@@ -410,6 +415,42 @@ func simulateOnce(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick
 		rep.Metrics = reg.Report()
 	}
 	return rep, nil
+}
+
+// buildPartition derives the gate→LP assignment an engine run will use
+// (nil for the serial engines). Shared between simulateOnce and the
+// adaptive rebalancer, which needs the same assignment to translate
+// per-LP utilization into per-gate weights.
+func buildPartition(c *circuit.Circuit, opts Options) (*partition.Partition, int, error) {
+	if !opts.Engine.Parallel() {
+		return nil, -1, nil
+	}
+	if opts.prebuilt != nil {
+		return opts.prebuilt, opts.prebuiltCones, nil
+	}
+	if opts.ConeSplit {
+		lps := opts.LPs
+		if lps < 1 {
+			lps = 4
+		}
+		w := opts.Weights
+		if w == nil {
+			w = partition.WeightsUniform(c)
+		}
+		part, coneCount := partition.ConeSplit(c, lps, w)
+		if err := part.Validate(c); err != nil {
+			return nil, -1, err
+		}
+		return part, coneCount, nil
+	}
+	part, err := partition.New(opts.Partition, c, opts.LPs, partition.Options{
+		Weights: opts.Weights,
+		Seed:    opts.PartitionSeed,
+	})
+	if err != nil {
+		return nil, -1, err
+	}
+	return part, -1, nil
 }
 
 // PreSimulate runs the paper's pre-simulation workload estimation: a

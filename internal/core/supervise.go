@@ -43,6 +43,11 @@ func Simulate(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, op
 			return nil, err
 		}
 	}
+	if opts.Adapt != nil {
+		// The adaptive supervisor owns segmentation, restore splicing,
+		// and (when configured) per-segment supervision.
+		return simulateAdaptive(c, stim, until, opts)
+	}
 	var rep *Report
 	var err error
 	if opts.Supervise == nil {

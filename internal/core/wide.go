@@ -64,6 +64,9 @@ func SimulateWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.
 	if opts.Chaos != nil {
 		return nil, fmt.Errorf("core: wide runs do not support chaos injection")
 	}
+	if opts.Adapt != nil {
+		return nil, fmt.Errorf("core: wide runs do not support adaptive control (the controllers drive the scalar engines' checkpoint/restart path)")
+	}
 	if opts.System == 0 {
 		opts.System = logic.FourValued
 	}

@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"E15", "dynamic load balancing", E15Dynamic},
 		{"E16", "critical-path (ideal parallelism) analysis", E16CriticalPath},
 		{"E17", "word-level data parallelism (PPSFP)", E17WordParallel},
+		{"E20", "static vs adaptive synchronization control", E20Adaptive},
 	}
 }
 

@@ -418,6 +418,44 @@ func (r *Registry) EnablePProf() { r.pprof = true }
 // PProfEnabled implements Sink.
 func (r *Registry) PProfEnabled() bool { return r.pprof }
 
+// Absorb folds another registry into r: per-LP counters and histograms
+// add block-wise (growing r as needed), globals accumulate, and the
+// other registry's gauges and labels overwrite same-named entries.
+// Cold path; call between runs, never while either registry's
+// goroutines are live. The adaptive supervisor uses it to aggregate
+// per-segment registries into one whole-run report.
+func (r *Registry) Absorb(o *Registry) {
+	for i, b := range o.lps {
+		dst := r.LP(i)
+		dst.LPCounters.Add(b.LPCounters)
+		for h := range b.hists {
+			dst.hists[h].merge(&b.hists[h])
+		}
+	}
+	r.global.Barriers += o.global.Barriers
+	r.global.GVTRounds += o.global.GVTRounds
+	r.global.ModeledCriticalNs += o.global.ModeledCriticalNs
+	r.global.WallNs += o.global.WallNs
+	for k, v := range o.gauges {
+		r.SetGauge(k, v)
+	}
+	for k, v := range o.labels {
+		r.SetLabel(k, v)
+	}
+}
+
+// SinkTotals sums a sink's per-LP counter blocks — the registry-free
+// aggregation path for engines that only hold the Sink interface.
+// Cold path; the caller must ensure the LP goroutines' writes are
+// visible (joined, or frozen behind a synchronization edge).
+func SinkTotals(s Sink) LPCounters {
+	var t LPCounters
+	for i := 0; i < s.NumLPs(); i++ {
+		t.Add(s.LP(i).LPCounters)
+	}
+	return t
+}
+
 // Totals sums the per-LP counter blocks.
 func (r *Registry) Totals() LPCounters {
 	var t LPCounters

@@ -1,0 +1,158 @@
+package adapt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SwitchConfig parameterizes the engine-switch supervisor.
+type SwitchConfig struct {
+	// NullHi is the nulls-per-applied-event ratio above which a
+	// conservative engine is judged null-bound and migrated to the
+	// optimistic target.
+	NullHi float64 `json:"null_hi,omitempty"`
+	// RollbackHi is the rolled-back-per-applied-event ratio above which
+	// an optimistic engine is judged rollback-bound and migrated to the
+	// conservative target.
+	RollbackHi float64 `json:"rollback_hi,omitempty"`
+	// Patience is how many consecutive breaching segments are required
+	// before switching.
+	Patience int `json:"patience,omitempty"`
+	// Cooldown is how many boundary decisions are skipped after a
+	// switch, so the new engine's first segments are not judged while
+	// it warms up.
+	Cooldown int `json:"cooldown,omitempty"`
+	// SettleAfter commits the current engine (ending probing, and with
+	// it all segmentation overhead) after this many consecutive
+	// in-band segments.
+	SettleAfter int `json:"settle_after,omitempty"`
+	// MinEvents ignores segments with fewer applied events — too
+	// little signal to act on.
+	MinEvents uint64 `json:"min_events,omitempty"`
+	// Conservative and Optimistic name the migration targets.
+	Conservative string `json:"conservative,omitempty"`
+	Optimistic   string `json:"optimistic,omitempty"`
+}
+
+func (c SwitchConfig) withDefaults() SwitchConfig {
+	if c.NullHi == 0 {
+		c.NullHi = 4.0
+	}
+	if c.RollbackHi == 0 {
+		c.RollbackHi = 0.35
+	}
+	if c.Patience == 0 {
+		c.Patience = 1
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 1
+	}
+	if c.SettleAfter == 0 {
+		c.SettleAfter = 2
+	}
+	if c.MinEvents == 0 {
+		c.MinEvents = 64
+	}
+	if c.Conservative == "" {
+		c.Conservative = "cmb"
+	}
+	if c.Optimistic == "" {
+		c.Optimistic = "timewarp"
+	}
+	return c
+}
+
+// SwitchController decides engine migrations at segment boundaries
+// from per-segment samples (counters are segment totals, not
+// cumulative). Like every controller here it is a pure function of
+// its sample stream.
+type SwitchController struct {
+	cfg      SwitchConfig
+	strikes  int // consecutive breaching segments
+	stays    int // consecutive in-band segments
+	cooldown int
+	log      []Decision
+}
+
+// NewSwitchController builds a controller; zero config fields default.
+func NewSwitchController(cfg SwitchConfig) *SwitchController {
+	return &SwitchController{cfg: cfg.withDefaults()}
+}
+
+// Decisions returns the accumulated decision log (including holds).
+func (c *SwitchController) Decisions() []Decision { return c.log }
+
+// conservativeEngine classifies an engine name by protocol family.
+func conservativeEngine(name string) bool {
+	return strings.HasPrefix(name, "cmb") || name == "sync"
+}
+
+func optimisticEngine(name string) bool {
+	return strings.HasPrefix(name, "timewarp") || name == "hybrid"
+}
+
+// Observe feeds one per-segment sample. It returns a Decision and
+// whether the caller must act on it ("switch" and "commit" act;
+// "hold" entries are returned with acted=false but still logged).
+func (c *SwitchController) Observe(s Sample) (Decision, bool) {
+	hold := func(reason string) (Decision, bool) {
+		d := Decision{Round: s.Round, Kind: KindHold, Reason: reason}
+		c.log = append(c.log, d)
+		return d, false
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		return hold("cooling down after switch")
+	}
+	if s.EventsApplied < c.cfg.MinEvents {
+		return hold(fmt.Sprintf("only %d events in segment: no signal", s.EventsApplied))
+	}
+	nullR := ratio(s.NullsSent, s.EventsApplied)
+	rollR := ratio(s.EventsRolledBack, s.EventsApplied)
+	var breach bool
+	var target, why string
+	switch {
+	case conservativeEngine(s.Engine) && nullR > c.cfg.NullHi:
+		breach = true
+		target = c.cfg.Optimistic
+		why = fmt.Sprintf("null ratio %.1f > %.1f", nullR, c.cfg.NullHi)
+	case optimisticEngine(s.Engine) && rollR > c.cfg.RollbackHi:
+		breach = true
+		target = c.cfg.Conservative
+		why = fmt.Sprintf("rollback ratio %.2f > %.2f", rollR, c.cfg.RollbackHi)
+	}
+	if !breach {
+		c.strikes = 0
+		c.stays++
+		if c.stays >= c.cfg.SettleAfter {
+			d := Decision{Round: s.Round, Kind: KindCommit,
+				Reason: fmt.Sprintf("%s in band for %d segments: commit", s.Engine, c.stays)}
+			c.log = append(c.log, d)
+			return d, true
+		}
+		return hold(fmt.Sprintf("%s in band (nulls %.1f/evt, rollback %.2f)", s.Engine, nullR, rollR))
+	}
+	c.stays = 0
+	c.strikes++
+	if c.strikes < c.cfg.Patience {
+		return hold(why + fmt.Sprintf(" (strike %d/%d)", c.strikes, c.cfg.Patience))
+	}
+	if target == s.Engine {
+		return hold(why + ": already on target engine")
+	}
+	c.strikes = 0
+	c.cooldown = c.cfg.Cooldown
+	d := Decision{Round: s.Round, Kind: KindSwitch, From: s.Engine, To: target, Reason: why}
+	c.log = append(c.log, d)
+	return d, true
+}
+
+// ReplaySwitch drives a fresh switch controller over a recorded trace
+// and returns its decision log.
+func ReplaySwitch(cfg SwitchConfig, tr []Sample) []Decision {
+	c := NewSwitchController(cfg)
+	for _, s := range tr {
+		c.Observe(s)
+	}
+	return c.log
+}

@@ -1,0 +1,105 @@
+package adapt
+
+import "fmt"
+
+// RebalanceConfig parameterizes the load rebalancer.
+type RebalanceConfig struct {
+	// ImbalanceHi triggers a rebalance when the busiest LP's
+	// evaluation count exceeds this multiple of the mean.
+	ImbalanceHi float64 `json:"imbalance_hi,omitempty"`
+	// MinEvals ignores segments with less total work than this.
+	MinEvals uint64 `json:"min_evals,omitempty"`
+	// Cooldown skips this many boundary decisions after a rebalance.
+	Cooldown int `json:"cooldown,omitempty"`
+	// MaxMoves bounds how many rebalances a run may perform.
+	MaxMoves int `json:"max_moves,omitempty"`
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.ImbalanceHi == 0 {
+		c.ImbalanceHi = 1.5
+	}
+	if c.MinEvals == 0 {
+		c.MinEvals = 256
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 1
+	}
+	if c.MaxMoves == 0 {
+		c.MaxMoves = 2
+	}
+	return c
+}
+
+// Rebalancer decides LP migrations at segment boundaries from the
+// per-LP utilization scoreboard (Sample.PerLPEvals, segment totals).
+// It only decides *that* placement must change; the supervisor turns
+// the same utilization vector into measured partitioner weights, so
+// the next segment's partition spreads observed load instead of
+// static estimates. A pure function of its sample stream.
+type Rebalancer struct {
+	cfg      RebalanceConfig
+	cooldown int
+	moves    int
+	log      []Decision
+}
+
+// NewRebalancer builds a rebalancer; zero config fields default.
+func NewRebalancer(cfg RebalanceConfig) *Rebalancer {
+	return &Rebalancer{cfg: cfg.withDefaults()}
+}
+
+// Decisions returns the accumulated decision log.
+func (r *Rebalancer) Decisions() []Decision { return r.log }
+
+// Observe feeds one per-segment utilization sample; acted is true for
+// a "rebalance" decision the caller must apply.
+func (r *Rebalancer) Observe(s Sample) (Decision, bool) {
+	hold := func(reason string) (Decision, bool) {
+		d := Decision{Round: s.Round, Kind: KindHold, Reason: reason}
+		r.log = append(r.log, d)
+		return d, false
+	}
+	if r.cooldown > 0 {
+		r.cooldown--
+		return hold("cooling down after rebalance")
+	}
+	if r.moves >= r.cfg.MaxMoves {
+		return hold("rebalance budget exhausted")
+	}
+	if len(s.PerLPEvals) < 2 {
+		return hold("fewer than two LPs: nothing to balance")
+	}
+	var total, max uint64
+	busiest := 0
+	for i, v := range s.PerLPEvals {
+		total += v
+		if v > max {
+			max, busiest = v, i
+		}
+	}
+	if total < r.cfg.MinEvals {
+		return hold(fmt.Sprintf("only %d evaluations in segment: no signal", total))
+	}
+	mean := float64(total) / float64(len(s.PerLPEvals))
+	imb := float64(max) / mean
+	if imb <= r.cfg.ImbalanceHi {
+		return hold(fmt.Sprintf("imbalance %.2f within %.2f", imb, r.cfg.ImbalanceHi))
+	}
+	r.cooldown = r.cfg.Cooldown
+	r.moves++
+	d := Decision{Round: s.Round, Kind: KindRebalance,
+		Reason: fmt.Sprintf("lp %d carries %.2fx the mean load: repartition on measured weights", busiest, imb)}
+	r.log = append(r.log, d)
+	return d, true
+}
+
+// ReplayRebalance drives a fresh rebalancer over a recorded trace and
+// returns its decision log.
+func ReplayRebalance(cfg RebalanceConfig, tr []Sample) []Decision {
+	r := NewRebalancer(cfg)
+	for _, s := range tr {
+		r.Observe(s)
+	}
+	return r.log
+}

@@ -1,0 +1,196 @@
+package adapt
+
+import "fmt"
+
+// WindowConfig parameterizes the AIMD optimism-window controller.
+type WindowConfig struct {
+	// Initial is the window adopted when the controller first engages
+	// (first multiplicative decrease from the unbounded state).
+	Initial uint64 `json:"initial,omitempty"`
+	// Min and Max bound the adapted window. When additive increase
+	// reaches Max the controller releases the window back to unbounded.
+	Min uint64 `json:"min,omitempty"`
+	Max uint64 `json:"max,omitempty"`
+	// Step is the additive increase per calm sample.
+	Step uint64 `json:"step,omitempty"`
+	// RollbackHi triggers multiplicative decrease when the per-sample
+	// rollback ratio (events rolled back / events applied) exceeds it;
+	// RollbackLo permits additive increase below it. The band between
+	// the two is the hysteresis deadband where the window holds.
+	RollbackHi float64 `json:"rollback_hi,omitempty"`
+	RollbackLo float64 `json:"rollback_lo,omitempty"`
+	// GuardPct is the throughput guard: if committed-events/sec drops
+	// by more than this fraction in the sample after an increase, the
+	// increase is rolled back even inside the deadband.
+	GuardPct float64 `json:"guard_pct,omitempty"`
+}
+
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.Initial == 0 {
+		c.Initial = 1024
+	}
+	if c.Min == 0 {
+		c.Min = 16
+	}
+	if c.Max == 0 {
+		c.Max = 1 << 20
+	}
+	if c.Step == 0 {
+		c.Step = 128
+	}
+	if c.RollbackHi == 0 {
+		c.RollbackHi = 0.25
+	}
+	if c.RollbackLo == 0 {
+		c.RollbackLo = 0.10
+	}
+	if c.GuardPct == 0 {
+		c.GuardPct = 0.30
+	}
+	return c
+}
+
+// WindowController is the hysteretic throughput-seeking optimism-window
+// controller: AIMD on the rollback ratio, with committed-events/sec as
+// a guard objective. It extends the memory-pressure clamp rather than
+// fighting it — while a clamp is in force the controller freezes (no
+// growth) and adopts the clamp as its own setpoint, so the engine-side
+// min-fold (configured window ∧ clamp ∧ adapted window) always
+// resolves to the clamp. The zero ambient state is "unbounded"
+// (window 0): the controller only engages when rollback pressure
+// appears and fully releases when calm persists.
+//
+// Observe is a pure function of the sample stream: no clocks, no
+// randomness. The coordinator calls it from a single goroutine, once
+// per GVT round.
+type WindowController struct {
+	cfg WindowConfig
+
+	win      uint64 // current adapted window; 0 = unbounded
+	have     bool   // prev is valid
+	prev     Sample
+	prevRate float64 // committed-events/ms of the previous sample
+	haveRate bool
+	grew     bool // last action was an additive increase
+
+	changes int
+	log     []Decision
+}
+
+// NewWindowController builds a controller; zero config fields default.
+func NewWindowController(cfg WindowConfig) *WindowController {
+	return &WindowController{cfg: cfg.withDefaults()}
+}
+
+// Window reports the current adapted window (0 = unbounded).
+func (w *WindowController) Window() uint64 { return w.win }
+
+// Changes reports how many times the window moved.
+func (w *WindowController) Changes() int { return w.changes }
+
+// Decisions returns the accumulated decision log.
+func (w *WindowController) Decisions() []Decision { return w.log }
+
+// ResetEpoch re-baselines the delta computation. The adaptive
+// supervisor calls it between segments: each engine run restarts its
+// counters from zero, so the first sample of a new run must not be
+// differenced against the last sample of the previous one. The
+// adapted window itself carries over.
+func (w *WindowController) ResetEpoch() {
+	w.have = false
+	w.haveRate = false
+	w.grew = false
+}
+
+// Observe feeds one cumulative sample and returns the adapted window
+// and whether it changed.
+func (w *WindowController) Observe(s Sample) (uint64, bool) {
+	if !w.have {
+		w.have, w.prev = true, s
+		return w.win, false
+	}
+	dApplied := sub(s.EventsApplied, w.prev.EventsApplied)
+	dRolled := sub(s.EventsRolledBack, w.prev.EventsRolledBack)
+	dWall := s.WallMs - w.prev.WallMs
+	w.prev = s
+	if dApplied == 0 {
+		// An idle round carries no signal; hold everything.
+		return w.win, false
+	}
+	if dRolled > dApplied {
+		dRolled = dApplied
+	}
+	rollback := float64(dRolled) / float64(dApplied)
+	rate := float64(dApplied - dRolled)
+	if dWall > 0 {
+		rate /= dWall
+	}
+	prevRate, hadRate := w.prevRate, w.haveRate
+	w.prevRate, w.haveRate = rate, true
+
+	old := w.win
+	var reason string
+	switch {
+	case s.Clamp != 0:
+		// The memory clamp owns the window: freeze growth (growing a
+		// target the clamp would instantly re-shrink is the livelock
+		// the regression suite guards against) and adopt the clamp as
+		// the controller's own setpoint so release starts from where
+		// memory pressure left off.
+		if w.win == 0 || w.win > s.Clamp {
+			w.win = s.Clamp
+			reason = fmt.Sprintf("memory clamp %d in force: adopt it", s.Clamp)
+		}
+		w.grew = false
+	case rollback > w.cfg.RollbackHi:
+		if w.win == 0 {
+			w.win = w.cfg.Initial
+		} else {
+			w.win /= 2
+		}
+		if w.win < w.cfg.Min {
+			w.win = w.cfg.Min
+		}
+		reason = fmt.Sprintf("rollback ratio %.2f > %.2f: multiplicative decrease", rollback, w.cfg.RollbackHi)
+		w.grew = false
+	case w.grew && hadRate && prevRate > 0 && rate < prevRate*(1-w.cfg.GuardPct):
+		// The last increase cost throughput even though rollbacks stayed
+		// in band; undo it.
+		w.win /= 2
+		if w.win < w.cfg.Min {
+			w.win = w.cfg.Min
+		}
+		reason = fmt.Sprintf("committed rate fell %.0f%% after increase: back off",
+			100*(1-rate/prevRate))
+		w.grew = false
+	case rollback < w.cfg.RollbackLo && w.win != 0:
+		w.win += w.cfg.Step
+		w.grew = true
+		if w.win >= w.cfg.Max {
+			w.win = 0
+			w.grew = false
+			reason = fmt.Sprintf("rollback ratio %.2f < %.2f at max: release to unbounded", rollback, w.cfg.RollbackLo)
+		} else {
+			reason = fmt.Sprintf("rollback ratio %.2f < %.2f: additive increase", rollback, w.cfg.RollbackLo)
+		}
+	default:
+		// Hysteresis deadband (or already unbounded and calm): hold.
+		w.grew = false
+	}
+	if w.win == old {
+		return w.win, false
+	}
+	w.changes++
+	w.log = append(w.log, Decision{Round: s.Round, Kind: KindWindow, Window: w.win, Reason: reason})
+	return w.win, true
+}
+
+// ReplayWindow drives a fresh window controller over a recorded trace
+// and returns its decision log — the open-loop harness entry point.
+func ReplayWindow(cfg WindowConfig, tr []Sample) []Decision {
+	w := NewWindowController(cfg)
+	for _, s := range tr {
+		w.Observe(s)
+	}
+	return w.log
+}

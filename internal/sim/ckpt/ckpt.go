@@ -19,6 +19,7 @@ package ckpt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -32,6 +33,16 @@ import (
 // Version is the checkpoint format identifier. Bump on any
 // incompatible schema change.
 const Version = "parsim-checkpoint/v1"
+
+// ErrStop is the sentinel a Checkpoint callback returns once it has
+// captured the snapshot it wanted: the producing run (the sequential
+// shadow) aborts immediately instead of simulating to its horizon.
+// Producers propagate it verbatim, so callers distinguish "stopped on
+// purpose, snapshot in hand" from a real failure with errors.Is. The
+// adaptive supervisor leans on this: it needs exactly one boundary
+// state per segment, and without the early stop every boundary would
+// cost a full-horizon shadow run.
+var ErrStop = errors.New("ckpt: capture complete")
 
 // Event is one pending event in the snapshot: a scheduled output
 // change for a gate at an absolute modeled time strictly greater than

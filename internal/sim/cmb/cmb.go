@@ -345,6 +345,13 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	}
 	res.Waveform = trace.Merge(recPtrs...)
 	sink.Globals().GVTRounds = sh.rounds
+	// null_ratio is the conservative protocol's headline overhead
+	// (nulls sent per applied event) as a run gauge — the signal the
+	// adaptive engine-switch controller thresholds on.
+	tot := metrics.SinkTotals(sink)
+	if tot.EventsApplied > 0 {
+		sink.SetGauge("null_ratio", float64(tot.NullsSent)/float64(tot.EventsApplied))
+	}
 	res.Stats = stats.Collect(sink, time.Since(start))
 	return res, nil
 }

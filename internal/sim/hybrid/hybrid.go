@@ -22,6 +22,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/sim/adapt"
 	"repro/internal/sim/ckpt"
 	"repro/internal/sim/timewarp"
 	"repro/internal/simtest/chaos/inject"
@@ -68,6 +69,9 @@ type Config struct {
 	// partition: whole combinational cones evaluate in one levelized pass
 	// and clusters synchronize only at sequential boundaries.
 	Sweep bool
+	// Adapt closes the loop on the inter-cluster optimism window; see
+	// timewarp.Config.Adapt.
+	Adapt *adapt.WindowController
 }
 
 // Result is the outcome of a hybrid run.
@@ -118,6 +122,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		HistoryLimit: cfg.HistoryLimit,
 		Boot:         cfg.Boot,
 		Sweep:        cfg.Sweep,
+		Adapt:        cfg.Adapt,
 	})
 	if err != nil {
 		return nil, err

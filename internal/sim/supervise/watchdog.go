@@ -106,6 +106,22 @@ func (b *Board) LP(i int) *LPSlot {
 	return &b.slots[i]
 }
 
+// Utilization snapshots the per-LP processed-event counts — the live
+// utilization scoreboard. Unlike the metrics blocks (written without
+// atomics by the LP goroutines), slots are atomic, so this is safe to
+// read at any time; the adaptive controllers sample it to detect load
+// imbalance. Nil boards report nil.
+func (b *Board) Utilization() []uint64 {
+	if b == nil {
+		return nil
+	}
+	out := make([]uint64, len(b.slots))
+	for i := range b.slots {
+		out[i] = b.slots[i].events.Load()
+	}
+	return out
+}
+
 // progress folds every slot into one monotone progress measure: any
 // LVT advance, bound advance, or processed event changes the sum.
 func (b *Board) progress() uint64 {

@@ -630,9 +630,14 @@ func (l *tlp[V]) run() {
 			continue
 		}
 		t := l.nextLive()
-		// The effective optimism window is the narrower of the configured
-		// window and any memory-throttle clamp the coordinator imposed.
+		// The effective optimism window is the narrowest of the configured
+		// window, the adaptive controller's output, and any memory-throttle
+		// clamp the coordinator imposed. The clamp folds last so it wins
+		// regardless of what the controller asked for.
 		win := l.cfg.Window
+		if aw := circuit.Tick(l.sh.adaptWin.Load()); aw != 0 && (win == 0 || aw < win) {
+			win = aw
+		}
 		if cl := circuit.Tick(l.sh.clamp.Load()); cl != 0 && (win == 0 || cl < win) {
 			win = cl
 		}

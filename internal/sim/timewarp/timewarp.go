@@ -42,6 +42,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpsc"
 	"repro/internal/partition"
+	"repro/internal/sim/adapt"
 	"repro/internal/sim/ckpt"
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/supervise"
@@ -165,6 +166,16 @@ type Config struct {
 	// for cone-split partitions, whose fat per-cone blocks saturate the
 	// dirty set on nearly every active step.
 	Sweep bool
+	// Adapt, when non-nil, closes the loop on the optimism window: the
+	// coordinator feeds the controller one metrics sample per GVT round
+	// and publishes its output as an additional window bound. The
+	// effective window is the narrowest of the configured Window, the
+	// memory-throttle clamp, and the adapted window — so the clamp
+	// always wins over the controller, by construction. The controller
+	// may be shared across segmented runs (the adaptive supervisor
+	// resets its sampling epoch between segments); within one run only
+	// the coordinator goroutine touches it.
+	Adapt *adapt.WindowController
 }
 
 // Result is the outcome of an optimistic run.
@@ -253,6 +264,17 @@ type shared[V comparable] struct {
 	clamp          atomic.Uint64
 	throttleRounds uint64
 	histPeak       uint64
+
+	// Adaptive-window state (cfg.Adapt != nil). adaptWin is the
+	// controller's current output (0 = unbounded), published by the
+	// coordinator after each GVT round and folded into every LP's
+	// effective window alongside the clamp; winChanges is
+	// coordinator-owned and read only after it returns. board is the
+	// per-LP utilization scoreboard, always populated so the adaptive
+	// sampler (and any watchdog) can read live progress.
+	adaptWin   atomic.Uint64
+	winChanges uint64
+	board      *supervise.Board
 }
 
 // fail records the first fatal error and aborts the run. Releasing any
@@ -364,6 +386,10 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		sink.SetGauge("mem_throttle_rounds", float64(sh.throttleRounds))
 		sink.SetGauge("history_peak_words", float64(sh.histPeak))
 	}
+	if cfg.Adapt != nil {
+		sink.SetGauge("adapt_window_changes", float64(sh.winChanges))
+		sink.SetGauge("adapt_final_window", float64(sh.adaptWin.Load()))
+	}
 	res.Stats = stats.Collect(sink, time.Since(start))
 	return res, nil
 }
@@ -402,9 +428,13 @@ func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, s
 	}
 	sh.replies = make(chan gvtReply, n)
 
-	var board *supervise.Board
-	if cfg.HangTimeout > 0 {
-		board = supervise.NewBoard(n)
+	// The scoreboard is always created: it costs n cache lines and
+	// feeds both the watchdog (when armed) and the adaptive sampler's
+	// per-LP utilization view.
+	board := supervise.NewBoard(n)
+	sh.board = board
+	if cfg.Adapt != nil {
+		sh.adaptWin.Store(cfg.Adapt.Window())
 	}
 	blockGates := p.BlockGates()
 	lps := make([]*tlp[V], n)
@@ -524,6 +554,7 @@ func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, s
 // GVT computations performed and the final GVT.
 func coordinate[V comparable](sh *shared[V], lps []*tlp[V]) (uint64, circuit.Tick) {
 	n := len(lps)
+	start := time.Now()
 	var rounds uint64
 	gvt := circuit.Tick(0)
 	// Work-based pacing: a GVT round per ~16 events of progress per gate,
@@ -608,6 +639,34 @@ func coordinate[V comparable](sh *shared[V], lps []*tlp[V]) (uint64, circuit.Tic
 		}
 		if limit > 0 {
 			throttle(sh, localMins, gvt)
+		}
+		if ad := sh.cfg.Adapt; ad != nil {
+			// Sample the frozen run. Reading the LP metrics blocks here is
+			// race-free: every LP sent its gvtReply after its last counter
+			// write and is parked in WaitDrain until the coordinator's next
+			// message, so the reply-channel receives above are the
+			// happens-before edge. Sampled after throttle so the controller
+			// sees the clamp it must yield to.
+			tot := metrics.SinkTotals(sh.sink)
+			s := adapt.Sample{
+				Round:            int(rounds),
+				WallMs:           float64(time.Since(start).Microseconds()) / 1e3,
+				Engine:           sh.engine,
+				EventsApplied:    tot.EventsApplied,
+				EventsRolledBack: tot.EventsRolledBack,
+				Rollbacks:        tot.Rollbacks,
+				MessagesSent:     tot.MessagesSent,
+				Clamp:            sh.clamp.Load(),
+				PerLPEvals:       sh.board.Utilization(),
+			}
+			if gvt != infTick {
+				s.GVT = uint64(gvt)
+			}
+			win, changed := ad.Observe(s)
+			sh.adaptWin.Store(win)
+			if changed {
+				sh.winChanges++
+			}
 		}
 		if gvt == infTick {
 			sh.coShard.Span(trace.PhaseGVT, roundBegin, trace.NoTick)

@@ -1,0 +1,186 @@
+package differ
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/sim/adapt"
+	"repro/internal/sim/seq"
+	"repro/internal/simtest/chaos"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// The adaptive-equivalence suite: adaptive runs — live controllers and
+// forced decision scripts alike — must replay the sequential golden
+// waveform bit for bit on every engine, for every fixture. When a
+// scripted run diverges, the failing decision sequence is minimized
+// with the ddmin core (chaos.ShrinkIndices), so the report names the
+// smallest set of adaptation decisions that still breaks equivalence.
+
+// adaptFixture is one circuit x stimulus workload of the suite.
+type adaptFixture struct {
+	name  string
+	c     *circuit.Circuit
+	stim  *vectors.Stimulus
+	until circuit.Tick
+}
+
+func adaptFixtures(t *testing.T) []adaptFixture {
+	t.Helper()
+	var fxs []adaptFixture
+	add := func(name string, c *circuit.Circuit, err error, mk func(*circuit.Circuit) (*vectors.Stimulus, error)) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stim, err := mk(c)
+		if err != nil {
+			t.Fatalf("%s stimulus: %v", name, err)
+		}
+		fxs = append(fxs, adaptFixture{name, c, stim, seq.Horizon(c, stim)})
+	}
+	c, err := gen.RandomSeq(gen.RandomConfig{Gates: 200, Inputs: 8, Outputs: 6, Seed: 11, FFRatio: 0.15})
+	add("randseq200", c, err, func(c *circuit.Circuit) (*vectors.Stimulus, error) {
+		return vectors.Clocked(c, vectors.ClockedConfig{Clock: "clk", Cycles: 10, HalfPeriod: 50, Activity: 0.5, Seed: 11})
+	})
+	c, err = gen.Counter(6, gen.Unit)
+	add("counter6", c, err, func(c *circuit.Circuit) (*vectors.Stimulus, error) {
+		return vectors.Clocked(c, vectors.ClockedConfig{Clock: "clk", Cycles: 24, HalfPeriod: 30, Activity: 0.3, Seed: 7})
+	})
+	c, err = gen.RippleAdder(8, gen.Fine(4, 5))
+	add("ripple8-fine", c, err, func(c *circuit.Circuit) (*vectors.Stimulus, error) {
+		return vectors.Random(c, vectors.RandomConfig{Vectors: 12, Period: 60, Activity: 0.6, Seed: 5})
+	})
+	return fxs
+}
+
+// checkAdaptive runs the fixture adaptively and compares against the
+// sequential reference; "" means equivalent.
+func checkAdaptive(fx adaptFixture, eng core.Engine, spec *adapt.Spec) string {
+	ref, err := core.Simulate(fx.c, fx.stim, fx.until, core.Options{
+		Engine: core.EngineSeq, System: logic.TwoValued,
+	})
+	if err != nil {
+		return fmt.Sprintf("sequential reference failed: %v", err)
+	}
+	rep, err := core.Simulate(fx.c, fx.stim, fx.until, core.Options{
+		Engine: eng, LPs: 4, Partition: partition.MethodFM, System: logic.TwoValued,
+		Adapt: spec,
+	})
+	if err != nil {
+		return fmt.Sprintf("adaptive run failed: %v", err)
+	}
+	if d := trace.Diff(ref.Waveform, rep.Waveform, 5); d != "" {
+		return fmt.Sprintf("waveform mismatch vs seq:\n%s", d)
+	}
+	for g := range ref.Values {
+		if ref.Values[g] != rep.Values[g] {
+			return fmt.Sprintf("final value mismatch at gate %d: seq=%v got=%v",
+				g, ref.Values[g], rep.Values[g])
+		}
+	}
+	if rep.EndTime != ref.EndTime {
+		return fmt.Sprintf("EndTime %d, want %d", rep.EndTime, ref.EndTime)
+	}
+	return ""
+}
+
+// scriptSpec builds a scripted adaptive spec: boundary controllers off,
+// the given forced decisions on, in-run window controller live.
+func scriptSpec(every uint64, script []adapt.Decision) *adapt.Spec {
+	return &adapt.Spec{
+		Every: every, MaxProbes: len(script) + 2,
+		NoSwitch: true, NoRebalance: true,
+		Script: script,
+	}
+}
+
+// adaptScripts are the forced decision sequences, per start engine:
+// protocol migrations in both directions (including the hybrid and the
+// demand-null conservative variant), a measured-weight rebalance, a
+// window pin, and a commit.
+var adaptScripts = map[core.Engine][]adapt.Decision{
+	core.EngineCMB: {
+		{Round: 0, Kind: adapt.KindSwitch, To: "timewarp"},
+		{Round: 1, Kind: adapt.KindRebalance},
+		{Round: 2, Kind: adapt.KindWindow, Window: 64},
+		{Round: 3, Kind: adapt.KindSwitch, To: "cmb-demand"},
+		{Round: 4, Kind: adapt.KindCommit},
+	},
+	core.EngineTimeWarp: {
+		{Round: 0, Kind: adapt.KindRebalance},
+		{Round: 1, Kind: adapt.KindSwitch, To: "cmb"},
+		{Round: 2, Kind: adapt.KindSwitch, To: "hybrid"},
+		{Round: 3, Kind: adapt.KindWindow, Window: 32},
+	},
+	core.EngineHybrid: {
+		{Round: 0, Kind: adapt.KindWindow, Window: 48},
+		{Round: 1, Kind: adapt.KindSwitch, To: "timewarp-lazy"},
+		{Round: 2, Kind: adapt.KindRebalance},
+	},
+}
+
+// TestAdaptEquivalenceScripted forces the decision sequences above and
+// requires golden-waveform equivalence; a divergence is minimized with
+// ddmin before failing.
+func TestAdaptEquivalenceScripted(t *testing.T) {
+	for _, fx := range adaptFixtures(t) {
+		every := uint64(fx.until) / 8
+		if every == 0 {
+			every = 1
+		}
+		for eng, script := range adaptScripts {
+			t.Run(fx.name+"/"+eng.String(), func(t *testing.T) {
+				f := checkAdaptive(fx, eng, scriptSpec(every, script))
+				if f == "" {
+					return
+				}
+				// Minimize: which decisions are actually needed to break
+				// equivalence? (Order and Round values are preserved, so a
+				// subset is a sparser adaptation path of the same run.)
+				sub := func(idx []int) []adapt.Decision {
+					s := make([]adapt.Decision, 0, len(idx))
+					for _, i := range idx {
+						s = append(s, script[i])
+					}
+					return s
+				}
+				min, mf := chaos.ShrinkIndices(len(script), f, func(idx []int) (bool, string) {
+					r := checkAdaptive(fx, eng, scriptSpec(every, sub(idx)))
+					return r != "", r
+				}, 24)
+				t.Fatalf("adaptive run diverged from golden; minimal script (%d of %d decisions): %v\n%s",
+					len(min), len(script), sub(min), mf)
+			})
+		}
+	}
+}
+
+// TestAdaptEquivalenceLive runs every fixture on every parallel start
+// engine with all three controllers live (real metrics close the loop)
+// and requires golden-waveform equivalence regardless of what the
+// controllers decided.
+func TestAdaptEquivalenceLive(t *testing.T) {
+	engines := []core.Engine{
+		core.EngineCMB, core.EngineCMBDemand, core.EngineSync,
+		core.EngineTimeWarp, core.EngineTimeWarpLazy, core.EngineHybrid,
+	}
+	for _, fx := range adaptFixtures(t) {
+		every := uint64(fx.until) / 5
+		if every == 0 {
+			every = 1
+		}
+		for _, eng := range engines {
+			t.Run(fx.name+"/"+eng.String(), func(t *testing.T) {
+				if f := checkAdaptive(fx, eng, &adapt.Spec{Every: every}); f != "" {
+					t.Fatal(f)
+				}
+			})
+		}
+	}
+}
