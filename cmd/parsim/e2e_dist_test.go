@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// distGolden produces the sequential reference VCD for the distributed
+// e2e runs (same workload flags as the dist runs below).
+func distGolden(t *testing.T, dir string) string {
+	t.Helper()
+	golden := filepath.Join(dir, "golden.vcd")
+	if _, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "seq", "-vectors", "20", "-vcd", golden, "-q"); code != 0 {
+		t.Fatalf("golden run failed:\n%s", stderr)
+	}
+	return golden
+}
+
+// TestDistMatchesSeqVCD: a sharded run over real loopback sockets
+// (in-process workers) must emit a VCD byte-identical to the sequential
+// reference.
+func TestDistMatchesSeqVCD(t *testing.T) {
+	dir := t.TempDir()
+	golden := distGolden(t, dir)
+	for _, engine := range []string{"cmb", "timewarp"} {
+		t.Run(engine, func(t *testing.T) {
+			out := filepath.Join(dir, engine+"-dist.vcd")
+			stdout, stderr, code := run(t,
+				"-circuit", "ripple8", "-engine", engine, "-lps", "4", "-vectors", "20",
+				"-dist", "2", "-dist-workdir", t.TempDir(), "-vcd", out, "-q")
+			if code != 0 {
+				t.Fatalf("dist run failed (%d):\n%s", code, stderr)
+			}
+			if !strings.Contains(stdout, "engine="+engine+"-dist") ||
+				!strings.Contains(stdout, "mode=dist") {
+				t.Errorf("summary line missing:\n%s", stdout)
+			}
+			if readFile(t, out) != readFile(t, golden) {
+				t.Error("distributed waveform differs from the sequential reference")
+			}
+		})
+	}
+}
+
+// TestDistExecKillRecoversVCD is the full-stack recovery e2e: real
+// parsimd-worker OS processes, a seeded chaos plan whose kills SIGKILL
+// workers mid-run, checkpointed fleet restarts — and a final VCD that
+// is still byte-identical to the uninterrupted sequential run.
+func TestDistExecKillRecoversVCD(t *testing.T) {
+	dir := t.TempDir()
+	worker := filepath.Join(dir, "parsimd-worker")
+	if out, err := exec.Command("go", "build", "-o", worker, "../parsimd-worker").CombinedOutput(); err != nil {
+		t.Fatalf("building parsimd-worker: %v\n%s", err, out)
+	}
+	golden := distGolden(t, dir)
+
+	out := filepath.Join(dir, "dist.vcd")
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "4", "-vectors", "20",
+		"-dist", "2", "-dist-exec", worker, "-dist-workdir", t.TempDir(),
+		"-checkpoint-every", "200", "-dist-restarts", "3",
+		"-dist-chaos-seed", "7", "-dist-chaos-faults", "12", "-dist-chaos-kill",
+		"-vcd", out, "-q")
+	if code != 0 {
+		t.Fatalf("chaos run failed (%d):\n%s", code, stderr)
+	}
+	m := regexp.MustCompile(`recoveries=(\d+)`).FindStringSubmatch(stdout)
+	if m == nil {
+		t.Fatalf("summary missing the recovery count:\n%s", stdout)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 1 {
+		t.Errorf("chaos kills forced no recovery:\n%s", stdout)
+	}
+	if readFile(t, out) != readFile(t, golden) {
+		t.Error("post-recovery waveform differs from the sequential reference")
+	}
+}
+
+// TestExitCodeShardLoss extends the exit-code matrix: a kill plan with
+// no restart budget and fallback disabled must abort with the
+// shard-loss code (6) and a structured error naming the lost shard.
+func TestExitCodeShardLoss(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "4", "-vectors", "30",
+		"-dist", "2", "-dist-workdir", t.TempDir(), "-dist-restarts", "0",
+		"-dist-chaos-seed", "7", "-dist-chaos-faults", "12", "-dist-chaos-kill",
+		"-fallback=false", "-q")
+	if code != exitShardLoss {
+		t.Fatalf("exit code %d, want %d; stdout:\n%s\nstderr:\n%s", code, exitShardLoss, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "shard") {
+		t.Errorf("stderr missing the shard-loss classification:\n%s", stderr)
+	}
+}
+
+// TestDistShardLossFallsBack: the same unsurvivable plan with fallback
+// left on must degrade to a single-process engine and exit zero with
+// the reference waveform.
+func TestDistShardLossFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	golden := distGolden(t, dir)
+	out := filepath.Join(dir, "degraded.vcd")
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "4", "-vectors", "20",
+		"-dist", "2", "-dist-workdir", t.TempDir(), "-dist-restarts", "0",
+		"-dist-chaos-seed", "7", "-dist-chaos-faults", "12", "-dist-chaos-kill",
+		"-vcd", out, "-q")
+	if code != 0 {
+		t.Fatalf("fallback run failed (%d):\n%s", code, stderr)
+	}
+	if strings.Contains(stdout, "mode=dist") {
+		t.Errorf("run should have degraded off the distributed path:\n%s", stdout)
+	}
+	if readFile(t, out) != readFile(t, golden) {
+		t.Error("degraded waveform differs from the sequential reference")
+	}
+}
+
+// TestDistFlagConflicts: the distributed path rejects the flags that
+// need global in-process state, with errors naming the offender.
+func TestDistFlagConflicts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"wide", []string{"-dist", "2", "-wide", "-system", "2"}, "-wide"},
+		{"opt", []string{"-dist", "2", "-opt"}, "-opt"},
+		{"adapt", []string{"-dist", "2", "-adapt"}, "-adapt"},
+		{"restore", []string{"-dist", "2", "-restore", "x.json"}, "-restore"},
+		{"engine", []string{"-dist", "2", "-engine", "hybrid"}, "hybrid"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := run(t, append([]string{"-circuit", "ripple8", "-q"}, tc.args...)...)
+			if code == 0 {
+				t.Fatalf("conflicting flags accepted: %v", tc.args)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr does not name %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}

@@ -42,12 +42,14 @@ import (
 
 // Exit codes classify failures for scripts and the e2e suite: 2 causality
 // violation, 3 watchdog hang, 4 panic recovered by the supervision layer,
-// 5 event limit exceeded, 1 anything else.
+// 5 event limit exceeded, 6 distributed shard loss with the restart
+// budget exhausted, 1 anything else.
 const (
 	exitCausality  = 2
 	exitHang       = 3
 	exitPanic      = 4
 	exitEventLimit = 5
+	exitShardLoss  = 6
 )
 
 func main() {
@@ -90,6 +92,17 @@ func main() {
 		histLimit  = flag.Uint64("history-limit", 0, "Time Warp saved-history bound in words (0 = unlimited)")
 		adaptive   = flag.Bool("adapt", false, "closed-loop adaptive control: self-tune the optimism window, switch engines, and rebalance LPs mid-run")
 		adaptSpec  = flag.String("adapt-spec", "", "adaptive controller configuration: inline JSON or a path to a JSON file (implies -adapt)")
+
+		distShards    = flag.Int("dist", 0, "distributed: run the engine across this many socket-connected worker shards (0 = off)")
+		distExec      = flag.String("dist-exec", "", "distributed: path to the parsimd-worker binary (empty = in-process workers over real sockets)")
+		distNetwork   = flag.String("dist-network", "tcp", "distributed: transport network, tcp or unix")
+		distWorkDir   = flag.String("dist-workdir", "", "distributed: directory for shard checkpoints and boot files (empty = temporary)")
+		distRestarts  = flag.Int("dist-restarts", 2, "distributed: fleet restart budget after a shard loss")
+		distHBTimeout = flag.Duration("dist-heartbeat-timeout", time.Second, "distributed: a result-less shard silent this long is declared lost")
+
+		distChaosSeed   = flag.Uint64("dist-chaos-seed", 1, "distributed chaos: netfault plan seed")
+		distChaosFaults = flag.Int("dist-chaos-faults", 0, "distributed chaos: number of planned network faults (0 = off)")
+		distChaosKill   = flag.Bool("dist-chaos-kill", false, "distributed chaos: allow worker-kill faults in the plan")
 
 		faultPanicLP = flag.Int("fault-panic-lp", -1, "chaos: panic once inside this LP (-1 = off)")
 		faultHangLP  = flag.Int("fault-hang-lp", -1, "chaos: hang this LP until the run aborts (-1 = off)")
@@ -159,6 +172,49 @@ func main() {
 	}
 
 	until := core.Horizon(c, stim)
+
+	if *distShards > 0 {
+		// The distributed path regenerates the circuit and stimulus inside
+		// every worker from the job spec, so transformations applied only
+		// in this process (optimizer, cone-split, pre-simulation weights)
+		// and single-process-only machinery (wide, adaptive control,
+		// restore, in-process fault injection) cannot ride along.
+		switch {
+		case *wide:
+			fatal(fmt.Errorf("-dist does not support -wide (scalar wire format)"))
+		case *optimize || *optPasses != "":
+			fatal(fmt.Errorf("-dist does not support -opt: workers regenerate the unoptimized netlist from the job spec"))
+		case *coneSplit:
+			fatal(fmt.Errorf("-dist does not support -cone-split"))
+		case *presim:
+			fatal(fmt.Errorf("-dist does not support -presim"))
+		case *restore != "":
+			fatal(fmt.Errorf("-dist does not support -restore (recovery boots from its own shard checkpoints)"))
+		case *adaptive || *adaptSpec != "":
+			fatal(fmt.Errorf("-dist does not support -adapt"))
+		case *faultPanicLP >= 0 || *faultHangLP >= 0 || *faultBias > 0:
+			fatal(fmt.Errorf("-dist does not support in-process fault injection (use -dist-chaos-*)"))
+		}
+		if !*quiet {
+			st := c.ComputeStats()
+			fmt.Printf("circuit: %d gates (%d FFs), %d inputs, %d outputs, depth %d, delays %d..%d\n",
+				st.Gates, st.FlipFlops, st.Inputs, st.Outputs, st.CombDepth, st.MinDelay, st.MaxDelay)
+			fmt.Printf("stimulus: %d vectors to t=%d, horizon t=%d\n", stim.NumVectors(), stim.End, until)
+		}
+		runDist(distConfig{
+			shards: *distShards, exec: *distExec, network: *distNetwork,
+			workDir: *distWorkDir, restarts: *distRestarts, hbTimeout: *distHBTimeout,
+			chaosSeed: *distChaosSeed, chaosFaults: *distChaosFaults, chaosKill: *distChaosKill,
+			benchPath: *benchPath, circName: *circName, fineDelays: *fineDelays,
+			seed: *seed, vectors: *nvectors, activity: *activity, period: *period,
+			engine: *engineName, until: uint64(until), lps: *lps, partition: *partName,
+			system: sys, maxEvents: *maxEvents, watchdog: *watchdog,
+			ckptEvery: *ckptEvery, fallback: *fallback,
+			vcdPath: *vcdPath, metricsOut: *metricsOut, quiet: *quiet, c: c,
+		})
+		return
+	}
+
 	opts := core.Options{
 		Engine: engine, LPs: *lps, Partition: method, PartitionSeed: *seed,
 		System: sys, Queue: queue, Window: circuit.Tick(*window),
@@ -492,6 +548,8 @@ func fatal(err error) {
 			code = exitPanic
 		case core.KindEventLimit:
 			code = exitEventLimit
+		case core.KindShardLoss:
+			code = exitShardLoss
 		}
 	}
 	os.Exit(code)

@@ -233,6 +233,7 @@ const (
 	KindHang       = supervise.KindHang
 	KindPanic      = supervise.KindPanic
 	KindEventLimit = supervise.KindEventLimit
+	KindShardLoss  = supervise.KindShardLoss
 )
 
 // Report is the engine-independent outcome of a run.

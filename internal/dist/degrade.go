@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// fallback is the bottom of the degradation ladder: the distributed
+// run's restart budget is exhausted, so the same workload is re-run in
+// this process under the supervision layer, starting at the synchronous
+// engine and degrading further to the sequential reference if even that
+// fails. Every engine reproduces the sequential trajectory, so the
+// degraded result's waveform is bit-identical to what the fleet would
+// have produced — the ladder trades performance, never correctness.
+func (h *hub) fallback(loss *core.SimError) (*Result, error) {
+	method, err := partition.ParseMethod(h.opts.Partition)
+	if err != nil {
+		return nil, err
+	}
+	lps := h.opts.LPs
+	if lps <= 0 {
+		lps = 4
+	}
+	rep, err := core.Simulate(h.c, h.stim, circuit.Tick(h.opts.Until), core.Options{
+		Engine:        core.EngineSync,
+		LPs:           lps,
+		Partition:     method,
+		PartitionSeed: h.opts.PartitionSeed,
+		System:        h.sys,
+		MaxEvents:     h.opts.MaxEvents,
+		Metrics:       h.opts.Metrics,
+		Supervise: &core.SuperviseOptions{
+			Watchdog: h.opts.HangTimeout,
+			Retries:  1,
+			Backoff:  10 * time.Millisecond,
+			Fallback: true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	finalMode := core.EngineSync.String()
+	fallbacks := 1 // dist -> sync
+	if rep.Supervision != nil {
+		finalMode = rep.Supervision.FinalEngine.String()
+		fallbacks += int(rep.Supervision.Fallbacks)
+	}
+	h.gauge("dist_fallbacks", float64(fallbacks))
+	return &Result{
+		Values:     rep.Values,
+		Waveform:   rep.Waveform,
+		EndTime:    rep.EndTime,
+		Events:     appliedEvents(rep.Stats.LPs),
+		Shards:     h.opts.Shards,
+		Attempts:   h.opts.Restarts + 1,
+		Recoveries: h.opts.Restarts,
+		Fallbacks:  fallbacks,
+		FinalMode:  finalMode,
+		Degraded:   loss.Error(),
+	}, nil
+}

@@ -1,0 +1,445 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/sim/ckpt"
+	"repro/internal/sim/seq"
+	"repro/internal/simtest/chaos"
+	"repro/internal/simtest/chaos/netfault"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// testJob is the shared workload spec: small enough to keep the fleet
+// tests fast, large enough that every shard owns real work.
+func testJob() *Job {
+	return &Job{
+		Circuit: "ripple8", Seed: 1,
+		Vectors: 15, Activity: 0.5, Period: 40,
+		Partition: "fm",
+	}
+}
+
+// golden runs the sequential reference over the test workload and
+// returns the circuit, stimulus, horizon, and reference result.
+func golden(t *testing.T) (*circuit.Circuit, *vectors.Stimulus, uint64, *seq.Result) {
+	t.Helper()
+	j := testJob()
+	c, err := j.BuildCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim, err := j.BuildStimulus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	until := core.Horizon(c, stim)
+	ref, err := seq.Run(c, stim, until, seq.Config{System: logic.NineValued})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, stim, uint64(until), ref
+}
+
+// baseOpts builds distributed Options over the test workload.
+func baseOpts(t *testing.T, engine string, shards int, until uint64) Options {
+	t.Helper()
+	j := testJob()
+	return Options{
+		Shards:   shards,
+		Engine:   engine,
+		Circuit:  j.Circuit,
+		Seed:     j.Seed,
+		Vectors:  j.Vectors,
+		Activity: j.Activity,
+		Period:   j.Period,
+		Until:    until,
+		LPs:      2 * shards,
+		WorkDir:  t.TempDir(),
+	}
+}
+
+// checkMatchesGolden requires the distributed result to agree with the
+// sequential reference on every final value and every waveform sample —
+// the bit-exactness contract recovery and chaos must preserve.
+func checkMatchesGolden(t *testing.T, res *Result, ref *seq.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(res.Values, ref.Values) {
+		t.Errorf("final values diverge from the sequential reference")
+	}
+	if !reflect.DeepEqual(res.Waveform, ref.Waveform) {
+		t.Errorf("waveform diverges: %d samples vs %d reference",
+			len(res.Waveform), len(ref.Waveform))
+	}
+}
+
+// TestDistMatchesSequential: every distributable engine, sharded two
+// ways over real loopback sockets, must reproduce the sequential
+// trajectory exactly.
+func TestDistMatchesSequential(t *testing.T) {
+	_, _, until, ref := golden(t)
+	for _, engine := range []string{"cmb", "cmb-demand", "timewarp", "timewarp-lazy"} {
+		t.Run(engine, func(t *testing.T) {
+			res, err := Run(baseOpts(t, engine, 2, until))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FinalMode != "dist" || res.Attempts != 1 || res.Recoveries != 0 {
+				t.Errorf("unexpected run shape: mode=%s attempts=%d recoveries=%d",
+					res.FinalMode, res.Attempts, res.Recoveries)
+			}
+			checkMatchesGolden(t, res, ref)
+		})
+	}
+}
+
+// TestDistUnixNetwork: the same contract over a unix-domain socket in
+// the work directory.
+func TestDistUnixNetwork(t *testing.T) {
+	_, _, until, ref := golden(t)
+	opts := baseOpts(t, "timewarp", 3, until)
+	opts.Network = "unix"
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatchesGolden(t, res, ref)
+}
+
+// TestDistChaosWithoutKills: a seeded plan of stalls, connection drops,
+// duplicates, and partitions — everything the reliable layer must
+// absorb without a fleet restart. One attempt, exact waveform.
+func TestDistChaosWithoutKills(t *testing.T) {
+	_, _, until, ref := golden(t)
+	for _, engine := range []string{"cmb", "timewarp"} {
+		t.Run(engine, func(t *testing.T) {
+			opts := baseOpts(t, engine, 2, until)
+			opts.Plan = netfault.NewPlan(42, opts.Shards, 8, false)
+			opts.HeartbeatTimeout = 2 * time.Second
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Attempts != 1 {
+				t.Errorf("survivable chaos forced %d attempts", res.Attempts)
+			}
+			checkMatchesGolden(t, res, ref)
+		})
+	}
+}
+
+// TestDistKillRecovers: a planned worker kill on the first attempt with
+// checkpointing armed. The hub must classify the loss, merge the newest
+// complete boundary, relaunch the fleet, and still produce the exact
+// sequential waveform.
+func TestDistKillRecovers(t *testing.T) {
+	_, _, until, ref := golden(t)
+	for _, engine := range []string{"cmb", "timewarp"} {
+		t.Run(engine, func(t *testing.T) {
+			opts := baseOpts(t, engine, 2, until)
+			opts.CheckpointEvery = 200
+			opts.Restarts = 2
+			opts.Plan = netfault.Plan{
+				{Op: netfault.OpKill, Shard: 0, AfterFrames: 5, Attempt: 0},
+			}
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Recoveries < 1 || res.Attempts < 2 {
+				t.Errorf("kill did not force a recovery: attempts=%d recoveries=%d",
+					res.Attempts, res.Recoveries)
+			}
+			if res.FinalMode != "dist" {
+				t.Errorf("recovered run degraded to %s", res.FinalMode)
+			}
+			checkMatchesGolden(t, res, ref)
+		})
+	}
+}
+
+// TestDistShardLossError: a kill on every attempt with no fallback must
+// exhaust the restart budget and surface a structured shard-loss error.
+func TestDistShardLossError(t *testing.T) {
+	_, _, until, _ := golden(t)
+	opts := baseOpts(t, "cmb", 2, until)
+	opts.CheckpointEvery = 200
+	opts.Restarts = 1
+	opts.Plan = netfault.Plan{
+		{Op: netfault.OpKill, Shard: 1, AfterFrames: 3, Attempt: -1},
+	}
+	_, err := Run(opts)
+	var se *core.SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("want a SimError, got %v", err)
+	}
+	if se.Kind != core.KindShardLoss {
+		t.Errorf("kind = %v, want shard loss; error: %v", se.Kind, se)
+	}
+}
+
+// TestDistShardLossFallback: the same unsurvivable plan with Fallback
+// set must walk the degradation ladder (dist -> sync -> ...) and still
+// hand back the exact sequential result.
+func TestDistShardLossFallback(t *testing.T) {
+	_, _, until, ref := golden(t)
+	opts := baseOpts(t, "cmb", 2, until)
+	opts.CheckpointEvery = 200
+	opts.Restarts = 0
+	opts.Fallback = true
+	opts.Plan = netfault.Plan{
+		{Op: netfault.OpKill, Shard: 0, AfterFrames: 3, Attempt: -1},
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMode == "dist" || res.Fallbacks < 1 {
+		t.Errorf("expected a degraded run, got mode=%s fallbacks=%d",
+			res.FinalMode, res.Fallbacks)
+	}
+	if res.Degraded == "" {
+		t.Error("degraded result does not carry the shard-loss cause")
+	}
+	checkMatchesGolden(t, res, ref)
+}
+
+// shadowStates captures real sequential-shadow snapshots at every
+// multiple of `every` for the test workload.
+func shadowStates(t *testing.T, every uint64) []*ckpt.State {
+	t.Helper()
+	j := testJob()
+	c, _ := j.BuildCircuit()
+	stim, _ := j.BuildStimulus(c)
+	var states []*ckpt.State
+	_, err := seq.Run(c, stim, core.Horizon(c, stim), seq.Config{
+		System:          logic.NineValued,
+		CheckpointEvery: circuit.Tick(every),
+		Checkpoint: func(st *ckpt.State) error {
+			states = append(states, st)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) < 2 {
+		t.Fatalf("workload too small: %d boundaries", len(states))
+	}
+	return states
+}
+
+// TestLatestBoundarySkipsCorrupt: the merge must fall back to the next
+// older boundary when any shard file of the newest one is truncated,
+// and report a fresh start (nil, no error) when every boundary is
+// unusable — a bad snapshot must never wedge recovery.
+func TestLatestBoundarySkipsCorrupt(t *testing.T) {
+	j := testJob()
+	c, _ := j.BuildCircuit()
+	j.Shards = 2
+	j.LPs = 4
+	part, shardOf, err := j.BuildPartition(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateShard := make([]int, c.NumGates())
+	for g := range gateShard {
+		gateShard[g] = shardOf[part.Assign[g]]
+	}
+
+	states := shadowStates(t, 200)
+	dir := t.TempDir()
+	for _, st := range states {
+		for s := 0; s < 2; s++ {
+			owned := ownedGates(part.Assign, shardOf, s, c.NumGates())
+			if err := ckpt.WriteFile(filepath.Join(dir, shardCkptName(s, st.Time)),
+				restrictToShard(st, owned)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	merged, at, err := latestBoundary(dir, 2, gateShard)
+	if err != nil || merged == nil {
+		t.Fatalf("clean directory: merged=%v err=%v", merged, err)
+	}
+	newest := states[len(states)-1].Time
+	if at != newest {
+		t.Fatalf("picked boundary %d, want newest %d", at, newest)
+	}
+
+	// Truncate one shard file of the newest boundary: the next older
+	// boundary must be chosen instead.
+	if err := os.WriteFile(filepath.Join(dir, shardCkptName(1, newest)), []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	merged, at, err = latestBoundary(dir, 2, gateShard)
+	if err != nil || merged == nil {
+		t.Fatalf("after corruption: merged=%v err=%v", merged, err)
+	}
+	if at != states[len(states)-2].Time {
+		t.Errorf("picked boundary %d, want fallback %d", at, states[len(states)-2].Time)
+	}
+	if merged.Verify() != nil {
+		t.Error("merged snapshot fails its own checksum")
+	}
+
+	// Corrupt every boundary: recovery must report a fresh start.
+	for _, st := range states {
+		for s := 0; s < 2; s++ {
+			if err := os.Truncate(filepath.Join(dir, shardCkptName(s, st.Time)), 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	merged, _, err = latestBoundary(dir, 2, gateShard)
+	if err != nil {
+		t.Fatalf("all-corrupt directory errored: %v", err)
+	}
+	if merged != nil {
+		t.Error("all-corrupt directory still produced a boundary")
+	}
+
+	// A directory that never existed is also a fresh start.
+	merged, _, err = latestBoundary(filepath.Join(dir, "nope"), 2, gateShard)
+	if err != nil || merged != nil {
+		t.Errorf("missing directory: merged=%v err=%v", merged, err)
+	}
+}
+
+// TestMergeRoundTrip: restricting a real shadow snapshot to each shard
+// and merging the restrictions back must reproduce the full cut exactly.
+func TestMergeRoundTrip(t *testing.T) {
+	j := testJob()
+	c, _ := j.BuildCircuit()
+	j.Shards = 3
+	j.LPs = 6
+	part, shardOf, err := j.BuildPartition(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateShard := make([]int, c.NumGates())
+	for g := range gateShard {
+		gateShard[g] = shardOf[part.Assign[g]]
+	}
+	st := shadowStates(t, 200)[1]
+
+	states := make([]*ckpt.State, 3)
+	for s := 0; s < 3; s++ {
+		states[s] = restrictToShard(st, ownedGates(part.Assign, shardOf, s, c.NumGates()))
+	}
+	merged, err := mergeShardStates(states, gateShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Vals, st.Vals) ||
+		!reflect.DeepEqual(merged.PrevClk, st.PrevClk) ||
+		!reflect.DeepEqual(merged.Projected, st.Projected) {
+		t.Error("merged value planes differ from the original cut")
+	}
+	// The merge re-sorts canonically by (time, gate); compare against a
+	// copy of the original in that order.
+	wantEvents := append([]ckpt.Event(nil), st.Events...)
+	sort.SliceStable(wantEvents, func(i, j int) bool {
+		if wantEvents[i].Time != wantEvents[j].Time {
+			return wantEvents[i].Time < wantEvents[j].Time
+		}
+		return wantEvents[i].Gate < wantEvents[j].Gate
+	})
+	if !reflect.DeepEqual(merged.Events, wantEvents) {
+		t.Errorf("merged events differ: %d vs %d", len(merged.Events), len(wantEvents))
+	}
+	if !reflect.DeepEqual(merged.Waveform, st.Waveform) {
+		t.Errorf("merged waveform differs: %d vs %d samples", len(merged.Waveform), len(st.Waveform))
+	}
+	if merged.Verify() != nil {
+		t.Error("merged snapshot fails its checksum")
+	}
+}
+
+// TestDecodeJobRejectsNonDistributableEngine: the hybrid and recovery
+// variants need global in-process coordination; a job naming one must
+// be rejected at decode time, before any simulation starts.
+func TestDecodeJobRejectsNonDistributableEngine(t *testing.T) {
+	for _, engine := range []string{"seq", "sync", "hybrid", "cmb-detect", ""} {
+		j := testJob()
+		j.Engine = engine
+		j.Shards, j.LPs = 2, 4
+		p, err := j.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeJob(p); err == nil {
+			t.Errorf("engine %q accepted", engine)
+		}
+	}
+}
+
+// TestDistSoak is the env-gated chaos soak (DIST_SOAK=1): seeded
+// netfault plans with kills over both protocol families, every run
+// checked bit-exact against the sequential reference. A failing seed
+// ddmin-shrinks to a minimal fault subset and prints a repro line.
+func TestDistSoak(t *testing.T) {
+	if os.Getenv("DIST_SOAK") == "" {
+		t.Skip("set DIST_SOAK=1 to run the distributed chaos soak")
+	}
+	seeds := 6
+	if n, err := strconv.Atoi(os.Getenv("DIST_SOAK_SEEDS")); err == nil && n > 0 {
+		seeds = n
+	}
+	_, _, until, ref := golden(t)
+
+	attempt := func(t *testing.T, engine string, plan netfault.Plan) error {
+		opts := baseOpts(t, engine, 3, until)
+		opts.CheckpointEvery = 200
+		opts.Restarts = 3
+		opts.HeartbeatTimeout = 2 * time.Second
+		opts.Plan = plan
+		res, err := Run(opts)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(res.Waveform, trace.Waveform(ref.Waveform)) {
+			return fmt.Errorf("waveform diverged (%d vs %d samples)",
+				len(res.Waveform), len(ref.Waveform))
+		}
+		if !reflect.DeepEqual(res.Values, ref.Values) {
+			return fmt.Errorf("final values diverged")
+		}
+		return nil
+	}
+
+	for _, engine := range []string{"cmb", "timewarp"} {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			name := fmt.Sprintf("%s/seed%d", engine, seed)
+			t.Run(name, func(t *testing.T) {
+				plan := netfault.NewPlan(seed, 3, 10, true)
+				err := attempt(t, engine, plan)
+				if err == nil {
+					return
+				}
+				// Shrink to a minimal failing fault subset for the repro.
+				min, failure := chaos.ShrinkIndices(len(plan), err.Error(), func(idx []int) (bool, string) {
+					if e := attempt(t, engine, plan.Subset(idx)); e != nil {
+						return true, e.Error()
+					}
+					return false, ""
+				}, 25)
+				t.Errorf("seed %d failed: %s\nminimal fault subset %v of plan:\n%v",
+					seed, failure, min, plan.Subset(min))
+			})
+		}
+	}
+}

@@ -1,0 +1,849 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/dist/wire"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/sim/ckpt"
+	"repro/internal/sim/supervise"
+	"repro/internal/simtest/chaos/netfault"
+	"repro/internal/trace"
+	"repro/internal/vectors"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	// Shards is the worker-process count (>= 1).
+	Shards int
+	// Engine is the worker engine: cmb, cmb-demand, timewarp, or
+	// timewarp-lazy.
+	Engine string
+
+	// Workload parameters, forwarded verbatim into every worker's Job so
+	// each shard regenerates the identical circuit and stimulus.
+	Bench      string
+	Circuit    string
+	FineDelays uint64
+	Seed       int64
+	Vectors    int
+	Activity   float64
+	Period     uint64
+	Until      uint64
+
+	// LPs / Partition / PartitionSeed parameterize the gate partition;
+	// LPs are then grouped onto shards uniformly.
+	LPs           int
+	Partition     string
+	PartitionSeed int64
+	// System is the logic value system (default 9-valued).
+	System logic.System
+	// MaxEvents aborts runaway shards (0 = unlimited).
+	MaxEvents uint64
+	// HangTimeout arms each worker's in-engine progress watchdog.
+	HangTimeout time.Duration
+
+	// CheckpointEvery, when non-zero, arms per-shard checkpointing at
+	// every multiple of this modeled time; recovery needs it.
+	CheckpointEvery uint64
+	// WorkDir holds shard snapshots, merged boot files, and (for the
+	// unix network) the coordinator socket. Empty creates a temporary
+	// directory that is removed when the run ends.
+	WorkDir string
+
+	// Restarts is the fleet-restart budget: after a shard loss the hub
+	// kills every worker, merges the newest complete checkpoint
+	// boundary, and relaunches, at most this many times.
+	Restarts int
+	// Fallback degrades a run whose restart budget is exhausted to a
+	// single-process supervised run (sync, then seq) instead of failing
+	// with a shard-loss error.
+	Fallback bool
+
+	// HeartbeatEvery paces worker liveness beacons (default 25ms);
+	// HeartbeatTimeout is how long a silent, result-less shard can stay
+	// silent before the hub declares it lost (default 1s).
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+
+	// Network is "tcp" (loopback, default) or "unix" (socket in
+	// WorkDir).
+	Network string
+
+	// GVTInterval is the wall-clock ceiling between distributed GVT
+	// cycles for the optimistic engines (default 50ms); like the
+	// single-process coordinator, cycles are normally paced by reported
+	// work and by all-idle heartbeats.
+	GVTInterval time.Duration
+
+	// Plan injects network chaos at the hub's relay: stalls, connection
+	// drops, duplicates, partitions, and worker kills, each scoped to
+	// one shard's link.
+	Plan netfault.Plan
+
+	// Spawn launches workers; nil uses in-process workers over real
+	// sockets. ExecSpawner launches separate OS processes.
+	Spawn Spawner
+
+	// Metrics receives dist_* gauges (nil discards them).
+	Metrics metrics.Sink
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	Values   []logic.Value
+	Waveform trace.Waveform
+	EndTime  circuit.Tick
+	GVT      circuit.Tick
+	// Events sums committed net changes across shards (of the final,
+	// successful attempt).
+	Events uint64
+	Shards int
+	// Attempts counts fleet launches; Recoveries counts checkpoint
+	// restarts after a shard loss; Fallbacks counts degradations to a
+	// simpler single-process engine.
+	Attempts   int
+	Recoveries int
+	Fallbacks  int
+	// FinalMode is "dist", or the single-process engine name that
+	// finished the run after degradation ("sync", "seq").
+	FinalMode string
+	// Degraded, when FinalMode is not "dist", is the shard-loss error
+	// that exhausted the restart budget.
+	Degraded string
+}
+
+// Defaults.
+const (
+	defaultHeartbeat        = 25 * time.Millisecond
+	defaultHeartbeatTimeout = 1 * time.Second
+	defaultGVTInterval      = 50 * time.Millisecond
+	// teardownGrace bounds how long the hub waits for workers to exit on
+	// their own (after FDone, or after a kill) before moving on.
+	teardownGrace = 5 * time.Second
+)
+
+// Run executes one distributed simulation: launch the fleet, relay and
+// perturb traffic, recover from shard losses, and merge the shard
+// results into a single report whose waveform is bit-identical to the
+// sequential engine's.
+func Run(opts Options) (*Result, error) {
+	h, err := newHub(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+
+	var lastErr error
+	for attempt := 0; attempt <= h.opts.Restarts; attempt++ {
+		res, err := h.runAttempt(attempt)
+		if err == nil {
+			res.Attempts = attempt + 1
+			res.Recoveries = attempt
+			res.FinalMode = "dist"
+			h.gauge("dist_shards", float64(h.opts.Shards))
+			h.gauge("dist_recoveries", float64(attempt))
+			h.gauge("dist_fallbacks", 0)
+			return res, nil
+		}
+		lastErr = err
+		if !recoverableDist(err) {
+			return nil, err
+		}
+	}
+
+	loss := &supervise.SimError{
+		Engine: "dist", LP: -1, Phase: "supervise",
+		Kind: supervise.KindShardLoss, Cause: lastErr,
+	}
+	h.gauge("dist_recoveries", float64(h.opts.Restarts))
+	if !h.opts.Fallback {
+		return nil, loss
+	}
+	return h.fallback(loss)
+}
+
+// recoverableDist reports whether a failed attempt is worth a restart.
+// Everything is, except the event-limit guard: a runaway workload
+// regenerates identically on every attempt.
+func recoverableDist(err error) bool {
+	var se *supervise.SimError
+	if errors.As(err, &se) {
+		return se.Kind != supervise.KindEventLimit
+	}
+	return true
+}
+
+// hub is the coordinator: listener, workload, and across-attempt state.
+type hub struct {
+	opts      Options
+	c         *circuit.Circuit
+	stim      *vectors.Stimulus
+	part      *partition.Partition
+	shardOf   []int // LP -> shard
+	gateShard []int // gate -> shard
+	sys       logic.System
+
+	ln      net.Listener
+	addr    string
+	workDir string
+	ownDir  bool // we created workDir and must remove it
+
+	mu   sync.Mutex
+	sess *session // the attempt the accept loop routes hellos to
+}
+
+// newHub validates options, rebuilds the workload locally (for shard
+// maps, result merging, and the fallback path), and starts listening.
+func newHub(opts Options) (*hub, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("dist: need at least one shard, got %d", opts.Shards)
+	}
+	if !validEngine(opts.Engine) {
+		return nil, fmt.Errorf("dist: engine %q does not distribute (cmb, cmb-demand, timewarp, timewarp-lazy)", opts.Engine)
+	}
+	if opts.System == 0 {
+		opts.System = logic.NineValued
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = defaultHeartbeat
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = defaultHeartbeatTimeout
+	}
+	if opts.GVTInterval <= 0 {
+		opts.GVTInterval = defaultGVTInterval
+	}
+	if opts.Network == "" {
+		opts.Network = "tcp"
+	}
+	if opts.Spawn == nil {
+		opts.Spawn = InProcSpawner{}
+	}
+	if opts.Partition == "" {
+		opts.Partition = "fm"
+	}
+
+	h := &hub{opts: opts, sys: opts.System}
+	job := h.jobFor(0, 0, "")
+	var err error
+	if h.c, err = job.BuildCircuit(); err != nil {
+		return nil, err
+	}
+	if h.stim, err = job.BuildStimulus(h.c); err != nil {
+		return nil, err
+	}
+	if h.part, h.shardOf, err = job.BuildPartition(h.c); err != nil {
+		return nil, err
+	}
+	h.gateShard = make([]int, h.c.NumGates())
+	for g := range h.gateShard {
+		h.gateShard[g] = h.shardOf[h.part.Assign[g]]
+	}
+
+	h.workDir = opts.WorkDir
+	if h.workDir == "" {
+		dir, err := os.MkdirTemp("", "parsim-dist-")
+		if err != nil {
+			return nil, err
+		}
+		h.workDir = dir
+		h.ownDir = true
+	} else if err := os.MkdirAll(h.workDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	laddr := "127.0.0.1:0"
+	if opts.Network == "unix" {
+		laddr = filepath.Join(h.workDir, "hub.sock")
+	}
+	if h.ln, err = net.Listen(opts.Network, laddr); err != nil {
+		h.close()
+		return nil, err
+	}
+	h.addr = h.ln.Addr().String()
+	go h.acceptLoop()
+	return h, nil
+}
+
+// close releases the listener and (when owned) the work directory.
+func (h *hub) close() {
+	if h.ln != nil {
+		h.ln.Close()
+	}
+	if h.ownDir {
+		os.RemoveAll(h.workDir)
+	}
+}
+
+// gauge records a run-level metric if a sink is attached.
+func (h *hub) gauge(name string, v float64) {
+	if h.opts.Metrics != nil {
+		h.opts.Metrics.SetGauge(name, v)
+	}
+}
+
+// jobFor builds shard s's job for one attempt.
+func (h *hub) jobFor(shard, attempt int, bootPath string) *Job {
+	o := &h.opts
+	lps := o.LPs
+	if lps <= 0 {
+		lps = 4
+	}
+	ckptDir := ""
+	if o.CheckpointEvery > 0 {
+		ckptDir = h.workDir
+	}
+	return &Job{
+		Bench: o.Bench, Circuit: o.Circuit, FineDelays: o.FineDelays, Seed: o.Seed,
+		Vectors: o.Vectors, Activity: o.Activity, Period: o.Period,
+		Engine: o.Engine, Until: o.Until, LPs: lps,
+		Partition: o.Partition, PartitionSeed: o.PartitionSeed,
+		System: uint8(o.System), MaxEvents: o.MaxEvents,
+		HangTimeoutMs: o.HangTimeout.Milliseconds(),
+		HeartbeatMs:   o.HeartbeatEvery.Milliseconds(),
+		Shards:        o.Shards, Shard: shard, Attempt: attempt,
+		CheckpointEvery: o.CheckpointEvery, CheckpointDir: ckptDir,
+		Boot: bootPath,
+	}
+}
+
+// acceptLoop admits worker connections for the hub's lifetime; hellos
+// that do not match the live attempt (zombies of torn-down fleets) are
+// rejected by closing the connection.
+func (h *hub) acceptLoop() {
+	for {
+		c, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		go h.admit(c)
+	}
+}
+
+func (h *hub) admit(c net.Conn) {
+	hello, err := wire.ReadHello(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	h.mu.Lock()
+	sess := h.sess
+	h.mu.Unlock()
+	if sess == nil || int(hello.Attempt) != sess.attempt ||
+		hello.Shard < 0 || int(hello.Shard) >= len(sess.links) {
+		c.Close()
+		return
+	}
+	sess.links[hello.Shard].ep.Attach(c, hello.RecvSeq)
+}
+
+// runAttempt launches one fleet and runs it to completion or to the
+// first shard-loss verdict.
+func (h *hub) runAttempt(attempt int) (*Result, error) {
+	bootPath := ""
+	if attempt > 0 && h.opts.CheckpointEvery > 0 {
+		merged, t, err := latestBoundary(h.workDir, h.opts.Shards, h.gateShard)
+		if err != nil {
+			return nil, err
+		}
+		if merged != nil {
+			bootPath = filepath.Join(h.workDir, fmt.Sprintf("boot-attempt-%d.json", attempt))
+			if err := ckpt.WriteFile(bootPath, merged); err != nil {
+				return nil, err
+			}
+			h.gauge("dist_boot_time", float64(t))
+		}
+	}
+
+	sess := newSession(h, attempt)
+	h.mu.Lock()
+	h.sess = sess
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		h.sess = nil
+		h.mu.Unlock()
+		sess.teardown()
+	}()
+
+	// Jobs are sent before the workers exist: sequenced frames queue in
+	// the endpoint until the worker's connection attaches, so the job is
+	// always the first sequenced frame a worker receives.
+	for s, link := range sess.links {
+		p, err := h.jobFor(s, attempt, bootPath).Encode()
+		if err != nil {
+			return nil, err
+		}
+		link.ep.Send(wire.FJob, p)
+	}
+	for s, link := range sess.links {
+		proc, err := h.opts.Spawn.Spawn(h.opts.Network, h.addr, s, attempt)
+		if err != nil {
+			return nil, fmt.Errorf("dist: attempt %d: %w", attempt, err)
+		}
+		link.setProc(proc)
+	}
+
+	if h.opts.Engine == "timewarp" || h.opts.Engine == "timewarp-lazy" {
+		go sess.gvtDriver()
+	}
+	go sess.monitor()
+
+	for done := 0; done < len(sess.links); {
+		select {
+		case <-sess.resCh:
+			done++
+		case <-sess.failed:
+			return nil, sess.err
+		}
+	}
+	for _, link := range sess.links {
+		link.ep.Send(wire.FDone, nil)
+	}
+
+	res := &Result{Shards: h.opts.Shards}
+	shardRes := make([]*shardResult, len(sess.links))
+	var reconnects uint64
+	for s, link := range sess.links {
+		sr := link.result.Load()
+		if sr == nil || len(sr.Values) != h.c.NumGates() {
+			return nil, fmt.Errorf("dist: shard %d produced a malformed result", s)
+		}
+		shardRes[s] = sr
+		if circuit.Tick(sr.EndTime) > res.EndTime {
+			res.EndTime = circuit.Tick(sr.EndTime)
+		}
+		if circuit.Tick(sr.GVT) > res.GVT {
+			res.GVT = circuit.Tick(sr.GVT)
+		}
+		res.Events += sr.Events
+		reconnects += link.ep.Reconnects()
+	}
+	res.Values = make([]logic.Value, h.c.NumGates())
+	var n int
+	for _, sr := range shardRes {
+		n += len(sr.Waveform)
+	}
+	res.Waveform = make(trace.Waveform, 0, n)
+	for g := range res.Values {
+		res.Values[g] = shardRes[h.gateShard[g]].Values[g]
+	}
+	for _, sr := range shardRes {
+		for _, sm := range sr.Waveform {
+			res.Waveform = append(res.Waveform, trace.Sample{
+				Time: circuit.Tick(sm.Time), Gate: sm.Gate, Value: sm.Value,
+			})
+		}
+	}
+	// Canonical order (time, then gate) matches every engine's merged
+	// waveform, so the distributed result is byte-identical in VCD form.
+	sort.Slice(res.Waveform, func(i, j int) bool {
+		if res.Waveform[i].Time != res.Waveform[j].Time {
+			return res.Waveform[i].Time < res.Waveform[j].Time
+		}
+		return res.Waveform[i].Gate < res.Waveform[j].Gate
+	})
+	h.gauge("dist_reconnects", float64(reconnects))
+	return res, nil
+}
+
+// session is one attempt's live state: per-shard links, chaos, verdicts.
+type session struct {
+	h       *hub
+	attempt int
+	links   []*shardLink
+
+	resCh  chan struct{} // one tick per shard result
+	failed chan struct{} // closed on the first fatal verdict
+	err    error
+	once   sync.Once
+	torn   atomic.Bool
+}
+
+// shardLink is one worker's connection, process, chaos state, and
+// latest liveness sample.
+type shardLink struct {
+	ep *wire.Endpoint
+
+	// pmu guards proc: the spawner's worker can connect and trigger a
+	// chaos kill before runAttempt stores the Proc handle.
+	pmu  sync.Mutex
+	proc Proc
+
+	result  atomic.Pointer[shardResult]
+	reports chan wire.GVTReport
+
+	hbEvents atomic.Uint64
+	hbIdle   atomic.Bool
+
+	// frames counts inbound frames relayed/handled from this shard;
+	// faults lists the plan entries scoped to this shard and attempt, in
+	// plan order, each fired at most once. Both are touched only on this
+	// link's read goroutine.
+	frames uint64
+	faults []netfault.Fault
+	fired  []bool
+}
+
+func (l *shardLink) setProc(p Proc) {
+	l.pmu.Lock()
+	l.proc = p
+	l.pmu.Unlock()
+}
+
+func (l *shardLink) getProc() Proc {
+	l.pmu.Lock()
+	defer l.pmu.Unlock()
+	return l.proc
+}
+
+func newSession(h *hub, attempt int) *session {
+	sess := &session{
+		h:       h,
+		attempt: attempt,
+		links:   make([]*shardLink, h.opts.Shards),
+		resCh:   make(chan struct{}, h.opts.Shards),
+		failed:  make(chan struct{}),
+	}
+	for s := range sess.links {
+		link := &shardLink{reports: make(chan wire.GVTReport, 16)}
+		for _, f := range h.opts.Plan {
+			if f.Shard == s && (f.Attempt == -1 || f.Attempt == attempt) {
+				link.faults = append(link.faults, f)
+			}
+		}
+		link.fired = make([]bool, len(link.faults))
+		shard := s
+		link.ep = wire.New(wire.Config{
+			Shard:   shard,
+			Handler: func(kind byte, payload []byte) { sess.handle(shard, kind, payload) },
+		})
+		sess.links[s] = link
+	}
+	return sess
+}
+
+// fail records the attempt's first fatal verdict.
+func (s *session) fail(err error) {
+	s.once.Do(func() {
+		s.err = err
+		close(s.failed)
+	})
+}
+
+// handle processes one frame from shard src on that link's read
+// goroutine: fire due chaos faults, then relay or consume the frame.
+func (s *session) handle(src int, kind byte, payload []byte) {
+	link := s.links[src]
+	link.frames++
+	for i, f := range link.faults {
+		if link.fired[i] || link.frames <= f.AfterFrames {
+			continue
+		}
+		link.fired[i] = true
+		s.fire(link, f)
+	}
+	switch kind {
+	case wire.FBatch:
+		dst, err := wire.BatchDst(payload)
+		if err != nil {
+			s.fail(fmt.Errorf("dist: shard %d sent a malformed batch: %w", src, err))
+			return
+		}
+		if int(dst) < 0 || int(dst) >= len(s.h.shardOf) {
+			s.fail(fmt.Errorf("dist: shard %d batched to unknown lp %d", src, dst))
+			return
+		}
+		s.links[s.h.shardOf[dst]].ep.Send(wire.FBatch, payload)
+	case wire.FHeartbeat:
+		hb, err := wire.DecodeHeartbeat(payload)
+		if err != nil {
+			return
+		}
+		link.hbEvents.Store(hb.Events)
+		link.hbIdle.Store(hb.Idle)
+	case wire.FGVTReport:
+		rep, err := wire.DecodeGVTReport(payload)
+		if err != nil {
+			return
+		}
+		select {
+		case link.reports <- rep:
+		default:
+		}
+	case wire.FResult:
+		var sr shardResult
+		if err := json.Unmarshal(payload, &sr); err != nil {
+			s.fail(fmt.Errorf("dist: shard %d result: %w", src, err))
+			return
+		}
+		link.result.Store(&sr)
+		s.resCh <- struct{}{}
+	case wire.FError:
+		var we wireError
+		if err := json.Unmarshal(payload, &we); err != nil {
+			s.fail(fmt.Errorf("dist: shard %d error frame: %w", src, err))
+			return
+		}
+		s.fail(we.toSimError())
+	}
+}
+
+// fire applies one chaos fault to a shard's link. Stalls sleep on the
+// read goroutine (delaying, never reordering, subsequent relays);
+// everything else maps to a wire- or process-level primitive.
+func (s *session) fire(link *shardLink, f netfault.Fault) {
+	d := time.Duration(f.Ms) * time.Millisecond
+	switch f.Op {
+	case netfault.OpStall:
+		time.Sleep(d)
+	case netfault.OpDropConn:
+		link.ep.ChaosDropConn()
+	case netfault.OpDup:
+		link.ep.ChaosDup()
+	case netfault.OpPartition:
+		link.ep.FreezeOut(d)
+		link.ep.FreezeIn(d)
+	case netfault.OpKill:
+		if p := link.getProc(); p != nil {
+			p.Kill()
+		}
+	}
+}
+
+// progress sums the fleet's heartbeat-reported work; idle is true only
+// when every shard's latest beacon reported all local LPs parked.
+func (s *session) progress() (events uint64, idle bool) {
+	idle = true
+	for _, link := range s.links {
+		events += link.hbEvents.Load()
+		if !link.hbIdle.Load() {
+			idle = false
+		}
+	}
+	return events, idle
+}
+
+// monitor watches every result-less shard for death and silence, and
+// classifies a loss into a structured shard error: a dead process or
+// dead link is a crash; a connected link with no inbound traffic beyond
+// the heartbeat timeout is a hang or partition. The verdict carries the
+// per-shard transport scoreboard, the same shape the in-process
+// watchdog reports.
+func (s *session) monitor() {
+	period := s.h.opts.HeartbeatTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.failed:
+			return
+		case <-t.C:
+		}
+		if s.torn.Load() {
+			return
+		}
+		for shard, link := range s.links {
+			if link.result.Load() != nil {
+				continue
+			}
+			if p := link.getProc(); p != nil {
+				select {
+				case <-p.Done():
+					s.fail(s.verdict(shard, supervise.KindInternal,
+						fmt.Errorf("dist: shard %d worker died before its result: %v", shard, p.Err())))
+					return
+				default:
+				}
+			}
+			if link.ep.LastRecvAge() > s.h.opts.HeartbeatTimeout {
+				kind := supervise.KindHang
+				cause := fmt.Errorf("dist: shard %d silent for over %v (hang or partition)",
+					shard, s.h.opts.HeartbeatTimeout)
+				if !link.ep.Connected() {
+					kind = supervise.KindInternal
+					cause = fmt.Errorf("dist: shard %d link down for over %v (crash)",
+						shard, s.h.opts.HeartbeatTimeout)
+				}
+				s.fail(s.verdict(shard, kind, cause))
+				return
+			}
+		}
+	}
+}
+
+// verdict builds the structured shard-loss error for one lost shard,
+// annotated with the whole fleet's transport state.
+func (s *session) verdict(shard int, kind supervise.Kind, cause error) error {
+	states := make([]supervise.TransportState, len(s.links))
+	for i, link := range s.links {
+		states[i] = link.ep.State()
+	}
+	return &supervise.SimError{
+		Engine: "dist", LP: shard, Phase: "transport",
+		Kind: kind, Cause: fmt.Errorf("%w; fleet transport: %+v", cause, states),
+	}
+}
+
+// gvtDriver is the hub half of distributed GVT for the optimistic
+// engines. Cycles are paced like the single-process coordinator: start
+// once the fleet has processed roughly sixteen events per gate since
+// the last cycle, immediately when every shard reports idle, or at the
+// wall-clock ceiling. Within a cycle, rounds repeat until two
+// consecutive rounds are globally quiet with identical, matching
+// cumulative wire counters (Mattern-style message counting made stable
+// under relay latency); the GVT is then the minimum local minimum of
+// the final round.
+func (s *session) gvtDriver() {
+	threshold := uint64(16 * s.h.c.NumGates())
+	if threshold < 100_000 {
+		threshold = 100_000
+	}
+	var round uint32
+	var lastEvents uint64
+	for {
+		deadline := time.Now().Add(s.h.opts.GVTInterval)
+		for {
+			if s.dead() {
+				return
+			}
+			ev, idle := s.progress()
+			if idle || ev-lastEvents >= threshold || !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		var gvt uint64
+		var prev *gvtTotals
+		for {
+			round++
+			for _, link := range s.links {
+				link.ep.Send(wire.FGVTStart, wire.AppendGVTStart(nil, wire.GVTStart{Round: round}))
+			}
+			tot, ok := s.collect(round)
+			if !ok {
+				return
+			}
+			if tot.quiet && tot.sent == tot.recv &&
+				prev != nil && prev.quiet && prev.sent == tot.sent && prev.recv == tot.recv {
+				gvt = tot.min
+				break
+			}
+			prev = &tot
+		}
+		lastEvents, _ = s.progress()
+
+		terminate := gvt > s.h.opts.Until
+		for _, link := range s.links {
+			link.ep.Send(wire.FGVTDone, wire.AppendGVTDone(nil, wire.GVTDone{GVT: gvt, Terminate: terminate}))
+		}
+		if terminate {
+			return
+		}
+	}
+}
+
+// gvtTotals folds one round's per-shard reports.
+type gvtTotals struct {
+	quiet      bool
+	min        uint64
+	sent, recv uint64
+}
+
+// collect gathers one report per shard for the given round, discarding
+// stale rounds; it aborts (ok=false) when the session dies.
+func (s *session) collect(round uint32) (gvtTotals, bool) {
+	tot := gvtTotals{quiet: true, min: ^uint64(0)}
+	for _, link := range s.links {
+		for {
+			select {
+			case rep := <-link.reports:
+				if rep.Round != round {
+					continue
+				}
+				if !rep.Quiet {
+					tot.quiet = false
+				}
+				if rep.LocalMin < tot.min {
+					tot.min = rep.LocalMin
+				}
+				tot.sent += rep.Sent
+				tot.recv += rep.Recv
+			case <-s.failed:
+				return tot, false
+			}
+			break
+		}
+	}
+	return tot, true
+}
+
+// dead reports whether the session has failed or been torn down.
+func (s *session) dead() bool {
+	if s.torn.Load() {
+		return true
+	}
+	select {
+	case <-s.failed:
+		return true
+	default:
+		return false
+	}
+}
+
+// teardown dismantles the fleet: on a failed attempt every worker is
+// killed outright; on a clean one they have already been sent FDone and
+// get a grace period to exit before the kill. Endpoints close last so
+// queued frames (FDone, retransmits) can still drain.
+func (s *session) teardown() {
+	s.torn.Store(true)
+	clean := true
+	select {
+	case <-s.failed:
+		clean = false
+	default:
+	}
+	if !clean {
+		for _, link := range s.links {
+			if p := link.getProc(); p != nil {
+				p.Kill()
+			}
+		}
+	}
+	deadline := time.Now().Add(teardownGrace)
+	for _, link := range s.links {
+		p := link.getProc()
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.Done():
+		case <-time.After(time.Until(deadline)):
+			p.Kill()
+			select {
+			case <-p.Done():
+			case <-time.After(teardownGrace):
+			}
+		}
+	}
+	for _, link := range s.links {
+		link.ep.Close()
+	}
+}

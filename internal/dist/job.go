@@ -1,0 +1,241 @@
+// Package dist runs one simulation as a set of worker processes, each
+// owning a contiguous shard of the LPs, joined by the reliable socket
+// transport in internal/dist/wire and coordinated by an in-process hub.
+//
+// The hub is a star: every worker holds exactly one connection to the
+// coordinator, which relays framed event batches between shards, drives
+// the distributed Mattern-style GVT conversation for the optimistic
+// engines, and watches per-connection heartbeats. Fault tolerance is
+// checkpoint-restart over the whole fleet: each worker's sequential
+// shadow writes shard-restricted snapshots at fixed modeled-time
+// boundaries, and when a shard is lost (crash, hang, or partition that
+// outlives the retry budget) the hub kills every worker, merges the
+// latest boundary that is complete and uncorrupted across all shards,
+// and relaunches the fleet booted from the merged cut. When the restart
+// budget is exhausted the run degrades to a single-process supervised
+// run (sync, then seq) or fails with a structured shard-loss error.
+//
+// Workers do not receive the circuit or the stimulus over the wire:
+// both are regenerated from the job spec's deterministic parameters
+// (generator name, delay seed, stimulus seed), exactly as the parsim
+// CLI builds them, so every shard provably simulates the same workload.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/vectors"
+)
+
+// Job is the spec a worker receives in its FJob frame: everything
+// needed to deterministically regenerate the circuit, the stimulus, the
+// partition, and the shard map, plus this worker's place in the fleet.
+// It is JSON so a captured job can be replayed by hand.
+type Job struct {
+	// Bench reads the circuit from an ISCAS .bench file; empty uses the
+	// Circuit generator name instead.
+	Bench string `json:"bench,omitempty"`
+	// Circuit is the generator name (gen.ByName: c17, ripple8, mul16, ...).
+	Circuit string `json:"circuit,omitempty"`
+	// FineDelays assigns random delays in [1,N] to generated circuits
+	// (0 = unit delays).
+	FineDelays uint64 `json:"fine_delays,omitempty"`
+	// Seed feeds delay assignment, stimulus generation, and randomized
+	// partitioners; identical seeds regenerate identical workloads.
+	Seed int64 `json:"seed"`
+
+	// Vectors/Activity/Period parameterize the stimulus exactly as the
+	// parsim CLI does (clocked when the circuit has a clock input,
+	// random otherwise).
+	Vectors  int     `json:"vectors"`
+	Activity float64 `json:"activity"`
+	Period   uint64  `json:"period"`
+
+	// Engine is the worker engine: cmb, cmb-demand, timewarp, or
+	// timewarp-lazy. The deadlock-recovery and hybrid variants need
+	// global in-process coordination and do not distribute.
+	Engine string `json:"engine"`
+	// Until is the simulation horizon (inclusive), fixed by the hub so
+	// every shard agrees.
+	Until uint64 `json:"until"`
+	// LPs is the total LP count across all shards.
+	LPs int `json:"lps"`
+	// Partition is the partition method name; PartitionSeed feeds it.
+	Partition     string `json:"partition"`
+	PartitionSeed int64  `json:"partition_seed"`
+	// System is the logic value system (2, 4, or 9).
+	System uint8 `json:"system"`
+	// MaxEvents aborts runaway shards (0 = unlimited).
+	MaxEvents uint64 `json:"max_events,omitempty"`
+	// HangTimeoutMs arms the worker's progress watchdog (0 = off).
+	HangTimeoutMs int64 `json:"hang_timeout_ms,omitempty"`
+	// HeartbeatMs paces the worker's liveness beacon.
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+
+	// Shards is the fleet size; Shard is this worker's index; Attempt
+	// is the hub's restart counter (echoed in the hello so the hub can
+	// reject zombies from torn-down attempts).
+	Shards  int `json:"shards"`
+	Shard   int `json:"shard"`
+	Attempt int `json:"attempt"`
+
+	// CheckpointEvery/CheckpointDir arm the worker's sequential-shadow
+	// shard checkpointer (0/"" = off).
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	CheckpointDir   string `json:"checkpoint_dir,omitempty"`
+	// Boot is the path of the merged snapshot this attempt resumes
+	// from ("" = fresh start at t=0).
+	Boot string `json:"boot,omitempty"`
+}
+
+// validEngine reports whether the engine name distributes.
+func validEngine(name string) bool {
+	switch name {
+	case "cmb", "cmb-demand", "timewarp", "timewarp-lazy":
+		return true
+	}
+	return false
+}
+
+// HangTimeout converts the wire field back to a duration.
+func (j *Job) HangTimeout() time.Duration {
+	return time.Duration(j.HangTimeoutMs) * time.Millisecond
+}
+
+// Heartbeat converts the wire field back to a duration (floored so a
+// zero job cannot spin the beacon loop).
+func (j *Job) Heartbeat() time.Duration {
+	if j.HeartbeatMs <= 0 {
+		return 25 * time.Millisecond
+	}
+	return time.Duration(j.HeartbeatMs) * time.Millisecond
+}
+
+// LogicSystem decodes the System field.
+func (j *Job) LogicSystem() (logic.System, error) {
+	switch j.System {
+	case 2:
+		return logic.TwoValued, nil
+	case 4:
+		return logic.FourValued, nil
+	case 0, 9:
+		return logic.NineValued, nil
+	}
+	return 0, fmt.Errorf("dist: invalid logic system %d", j.System)
+}
+
+// BuildCircuit regenerates the circuit from the job's deterministic
+// parameters — the same resolution order as the parsim CLI.
+func (j *Job) BuildCircuit() (*circuit.Circuit, error) {
+	if j.Bench != "" {
+		f, err := os.Open(j.Bench)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Read(f)
+	}
+	delays := gen.Unit
+	if j.FineDelays > 0 {
+		delays = gen.Fine(circuit.Tick(j.FineDelays), j.Seed)
+	}
+	return gen.ByName(j.Circuit, delays, j.Seed)
+}
+
+// BuildStimulus regenerates the stimulus: clocked when the circuit has
+// a clock input, random vectors otherwise (mirrors the parsim CLI, so a
+// distributed run and its sequential golden see the same input).
+func (j *Job) BuildStimulus(c *circuit.Circuit) (*vectors.Stimulus, error) {
+	for _, clk := range []string{"clk", "CLK", "__CLK"} {
+		if id, ok := c.ByName(clk); ok && c.Gate(id).Kind == circuit.Input {
+			return vectors.Clocked(c, vectors.ClockedConfig{
+				Clock: clk, Cycles: j.Vectors, HalfPeriod: circuit.Tick(j.Period),
+				Activity: j.Activity, Seed: j.Seed,
+			})
+		}
+	}
+	return vectors.Random(c, vectors.RandomConfig{
+		Vectors: j.Vectors, Period: circuit.Tick(j.Period),
+		Activity: j.Activity, Seed: j.Seed,
+	})
+}
+
+// BuildPartition regenerates the LP partition and the LP->shard map.
+// Both sides of the wire run this with identical inputs, so the hub and
+// every worker agree on gate ownership without shipping the assignment.
+func (j *Job) BuildPartition(c *circuit.Circuit) (*partition.Partition, []int, error) {
+	method, err := partition.ParseMethod(j.Partition)
+	if err != nil {
+		return nil, nil, err
+	}
+	lps := j.LPs
+	if lps <= 0 {
+		lps = 4
+	}
+	part, err := partition.New(method, c, lps, partition.Options{Seed: j.PartitionSeed})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := part.Validate(c); err != nil {
+		return nil, nil, err
+	}
+	if j.Shards < 1 {
+		return nil, nil, fmt.Errorf("dist: job needs at least one shard, got %d", j.Shards)
+	}
+	shardOf := part.Group(j.Shards, partition.WeightsUniform(c))
+	return part, shardOf, nil
+}
+
+// Encode marshals the job for an FJob frame.
+func (j *Job) Encode() ([]byte, error) { return json.Marshal(j) }
+
+// DecodeJob unmarshals an FJob payload.
+func DecodeJob(p []byte) (*Job, error) {
+	var j Job
+	if err := json.Unmarshal(p, &j); err != nil {
+		return nil, fmt.Errorf("dist: job decode: %w", err)
+	}
+	if !validEngine(j.Engine) {
+		return nil, fmt.Errorf("dist: engine %q does not distribute (cmb, cmb-demand, timewarp, timewarp-lazy)", j.Engine)
+	}
+	return &j, nil
+}
+
+// shardResult is the JSON payload of a worker's FResult frame: final
+// values and waveform samples for the gates this shard owns, plus the
+// shard's bookkeeping. Values is full-length with non-owned entries
+// zero; the hub reads only the owned gates.
+type shardResult struct {
+	Shard    int           `json:"shard"`
+	Values   []logic.Value `json:"values"`
+	Waveform []wfSample    `json:"waveform"`
+	EndTime  uint64        `json:"end_time"`
+	Events   uint64        `json:"events"`
+	GVT      uint64        `json:"gvt,omitempty"`
+}
+
+// wfSample is a JSON-stable waveform sample.
+type wfSample struct {
+	Time  uint64         `json:"t"`
+	Gate  circuit.GateID `json:"g"`
+	Value logic.Value    `json:"v"`
+}
+
+// wireError is the JSON payload of a worker's FError frame: a SimError
+// flattened for the wire (the cause survives as text).
+type wireError struct {
+	Engine      string `json:"engine"`
+	LP          int    `json:"lp"`
+	Phase       string `json:"phase"`
+	ModeledTime uint64 `json:"t"`
+	Kind        uint8  `json:"kind"`
+	Cause       string `json:"cause"`
+}

@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/sim/ckpt"
+)
+
+// Shard checkpointing. Every worker runs the sequential shadow over the
+// whole circuit (the trajectory is deterministic, so each shard's copy
+// of the shadow computes the same cut) but persists only its own
+// restriction of each boundary snapshot: value planes zeroed outside
+// owned gates, pending events and waveform samples filtered to owned
+// gates. The waveform restriction is absolute — all own-gate samples
+// from t=0 through the boundary, including any booted prefix — so a
+// boundary file's content depends only on (workload, boundary, shard),
+// never on which attempt wrote it. That makes stale files from
+// torn-down attempts indistinguishable from fresh ones, and lets the
+// hub merge any boundary that is complete across shards: plane
+// stitching by gate owner, event and sample union, one checksum reseal.
+//
+// A truncated or bit-flipped shard file surfaces as ckpt.ErrCorrupt at
+// read time; the merge skips that boundary and falls back to the next
+// older one, down to a fresh start when nothing survives.
+
+// shardCkptName names shard s's snapshot at boundary t.
+func shardCkptName(shard int, t uint64) string {
+	return fmt.Sprintf("shard-%03d-ckpt-%010d.json", shard, t)
+}
+
+// restrictToShard projects a full shadow snapshot onto one shard: owned
+// planes kept (others zeroed), events and waveform filtered to owned
+// gates, checksum resealed.
+func restrictToShard(st *ckpt.State, owned []bool) *ckpt.State {
+	out := &ckpt.State{
+		Version: st.Version, Fingerprint: st.Fingerprint,
+		Time: st.Time, Until: st.Until, System: st.System, EndTime: st.EndTime,
+		Vals:      make([]logic.Value, len(st.Vals)),
+		PrevClk:   make([]logic.Value, len(st.PrevClk)),
+		Projected: make([]logic.Value, len(st.Projected)),
+	}
+	for g, own := range owned {
+		if !own {
+			continue
+		}
+		out.Vals[g] = st.Vals[g]
+		out.PrevClk[g] = st.PrevClk[g]
+		out.Projected[g] = st.Projected[g]
+	}
+	for _, ev := range st.Events {
+		if owned[ev.Gate] {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	for _, sm := range st.Waveform {
+		if owned[sm.Gate] {
+			out.Waveform = append(out.Waveform, sm)
+		}
+	}
+	out.Seal()
+	return out
+}
+
+// mergeShardStates stitches per-shard restrictions of one boundary back
+// into a full consistent cut: planes by gate owner, events and waveform
+// unioned and canonically sorted.
+func mergeShardStates(states []*ckpt.State, gateShard []int) (*ckpt.State, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("dist: merge of zero shard states")
+	}
+	base := states[0]
+	n := len(base.Vals)
+	merged := &ckpt.State{
+		Version: base.Version, Fingerprint: base.Fingerprint,
+		Time: base.Time, Until: base.Until, System: base.System,
+		Vals:      make([]logic.Value, n),
+		PrevClk:   make([]logic.Value, n),
+		Projected: make([]logic.Value, n),
+	}
+	for s, st := range states {
+		if st.Time != base.Time || st.Fingerprint != base.Fingerprint || st.System != base.System {
+			return nil, fmt.Errorf("dist: shard %d snapshot disagrees with shard 0 (t=%d vs %d, fp %s vs %s)",
+				s, st.Time, base.Time, st.Fingerprint, base.Fingerprint)
+		}
+		if len(st.Vals) != n {
+			return nil, fmt.Errorf("dist: shard %d snapshot sized %d, want %d", s, len(st.Vals), n)
+		}
+		if st.EndTime > merged.EndTime {
+			merged.EndTime = st.EndTime
+		}
+		merged.Events = append(merged.Events, st.Events...)
+		merged.Waveform = append(merged.Waveform, st.Waveform...)
+	}
+	for g := 0; g < n; g++ {
+		st := states[gateShard[g]]
+		merged.Vals[g] = st.Vals[g]
+		merged.PrevClk[g] = st.PrevClk[g]
+		merged.Projected[g] = st.Projected[g]
+	}
+	sort.Slice(merged.Events, func(i, j int) bool {
+		if merged.Events[i].Time != merged.Events[j].Time {
+			return merged.Events[i].Time < merged.Events[j].Time
+		}
+		return merged.Events[i].Gate < merged.Events[j].Gate
+	})
+	// Canonical waveform order (time, then gate) matches trace.Merge, so
+	// a spliced prefix is byte-identical to an uninterrupted run's.
+	sort.Slice(merged.Waveform, func(i, j int) bool {
+		if merged.Waveform[i].Time != merged.Waveform[j].Time {
+			return merged.Waveform[i].Time < merged.Waveform[j].Time
+		}
+		return merged.Waveform[i].Gate < merged.Waveform[j].Gate
+	})
+	merged.Seal()
+	return merged, nil
+}
+
+// latestBoundary scans the checkpoint directory for the newest boundary
+// with a valid snapshot from every shard, skipping boundaries with
+// missing, truncated, or bit-flipped files (ckpt.ErrCorrupt), and
+// returns the merged cut. A nil state (no error) means no complete
+// boundary survives and recovery must restart from t=0.
+func latestBoundary(dir string, shards int, gateShard []int) (*ckpt.State, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	// Collect boundary times that have a file for every shard.
+	seen := map[uint64]int{}
+	for _, e := range entries {
+		var shard int
+		var t uint64
+		if _, err := fmt.Sscanf(e.Name(), "shard-%d-ckpt-%d.json", &shard, &t); err != nil {
+			continue
+		}
+		if shard >= 0 && shard < shards {
+			seen[t]++
+		}
+	}
+	times := make([]uint64, 0, len(seen))
+	for t, cnt := range seen {
+		if cnt == shards {
+			times = append(times, t)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] > times[j] })
+
+	for _, t := range times {
+		states := make([]*ckpt.State, shards)
+		ok := true
+		for s := 0; s < shards; s++ {
+			st, err := ckpt.ReadFile(filepath.Join(dir, shardCkptName(s, t)))
+			if err != nil {
+				// Corrupt or unreadable: this boundary is unusable, try the
+				// next older one. Anything else (version skew) also falls
+				// back — a bad snapshot must never wedge recovery.
+				ok = false
+				break
+			}
+			states[s] = st
+		}
+		if !ok {
+			continue
+		}
+		merged, err := mergeShardStates(states, gateShard)
+		if err != nil {
+			continue
+		}
+		return merged, t, nil
+	}
+	return nil, 0, nil
+}
+
+// prefixOf returns the boot state's waveform prefix as engine samples
+// (empty for a fresh start).
+func prefixOf(boot *ckpt.State) []wfSample {
+	if boot == nil {
+		return nil
+	}
+	out := make([]wfSample, len(boot.Waveform))
+	for i, sm := range boot.Waveform {
+		out[i] = wfSample{Time: sm.Time, Gate: sm.Gate, Value: sm.Value}
+	}
+	return out
+}
+
+// ownedGates derives the per-gate ownership mask of one shard from the
+// partition assignment and the LP->shard map.
+func ownedGates(assign []int, shardOf []int, shard int, n int) []bool {
+	owned := make([]bool, n)
+	for g := 0; g < n; g++ {
+		owned[g] = shardOf[assign[g]] == shard
+	}
+	return owned
+}

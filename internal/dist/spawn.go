@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+	"strconv"
+)
+
+// Proc is one launched worker the hub can reap or kill.
+type Proc interface {
+	// Kill terminates the worker immediately (SIGKILL for a process,
+	// forced link failure for an in-process worker). Idempotent.
+	Kill()
+	// Done is closed once the worker has exited; it is safe to receive
+	// from any number of times and goroutines.
+	Done() <-chan struct{}
+	// Err is the worker's exit error (nil on clean exit), valid once
+	// Done is closed.
+	Err() error
+}
+
+// Spawner launches workers; the hub calls it once per shard per
+// attempt.
+type Spawner interface {
+	Spawn(network, addr string, shard, attempt int) (Proc, error)
+}
+
+// ExecSpawner launches each worker as a separate OS process running the
+// parsimd-worker binary — the production topology, and the one the
+// chaos harness SIGKILLs for real.
+type ExecSpawner struct {
+	// Bin is the parsimd-worker binary path.
+	Bin string
+	// Stderr receives worker stderr (nil discards it).
+	Stderr io.Writer
+}
+
+type execProc struct {
+	cmd  *exec.Cmd
+	err  error
+	done chan struct{}
+}
+
+// Spawn starts one worker process.
+func (s *ExecSpawner) Spawn(network, addr string, shard, attempt int) (Proc, error) {
+	cmd := exec.Command(s.Bin,
+		"-network", network, "-addr", addr,
+		"-shard", strconv.Itoa(shard), "-attempt", strconv.Itoa(attempt))
+	cmd.Stderr = s.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: spawn shard %d: %w", shard, err)
+	}
+	p := &execProc{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		p.err = cmd.Wait()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+func (p *execProc) Kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+func (p *execProc) Done() <-chan struct{} { return p.done }
+func (p *execProc) Err() error            { return p.err }
+
+// InProcSpawner runs each worker as a goroutine inside the hub's
+// process, still talking through real sockets. It is the test harness's
+// spawner: the full wire protocol is exercised without the cost of
+// go-building a binary, and "kill" is a forced permanent link failure —
+// the in-process analogue of SIGKILL the netfault plan documents.
+type InProcSpawner struct{}
+
+type inprocProc struct {
+	w    *Worker
+	err  error
+	done chan struct{}
+}
+
+// Spawn starts one in-process worker.
+func (InProcSpawner) Spawn(network, addr string, shard, attempt int) (Proc, error) {
+	w := NewWorker(network, addr, shard, attempt)
+	p := &inprocProc{w: w, done: make(chan struct{})}
+	go func() {
+		p.err = w.Run()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+func (p *inprocProc) Kill()                 { p.w.Kill() }
+func (p *inprocProc) Done() <-chan struct{} { return p.done }
+func (p *inprocProc) Err() error            { return p.err }

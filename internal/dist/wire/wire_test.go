@@ -1,0 +1,296 @@
+package wire
+
+import (
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// socketPair wires a client seam to a server seam over a real TCP
+// loopback connection, with the server re-accepting after connection
+// drops (the reliable layer's reconnect path).
+func socketPair(t *testing.T, lps int, shardOf []int) (client, server *Seam, cleanup func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	serverEP := New(Config{Shard: 0})
+	server = NewSeam(serverEP, 1, shardOf)
+	serverEP.cfg.Handler = func(kind byte, payload []byte) { server.HandleFrame(kind, payload) }
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			hello, err := ReadHello(c)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			serverEP.Attach(c, hello.RecvSeq)
+		}
+	}()
+
+	clientEP := New(Config{
+		Shard:      -1,
+		Dial:       func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Hello:      Hello{Shard: 0, Attempt: 0},
+		MaxRedials: 50,
+		RedialBase: time.Millisecond,
+		RedialCap:  20 * time.Millisecond,
+	})
+	client = NewSeam(clientEP, 0, shardOf)
+	clientEP.cfg.Handler = func(kind byte, payload []byte) { client.HandleFrame(kind, payload) }
+	if err := clientEP.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	return client, server, func() {
+		ln.Close()
+		clientEP.Close()
+		serverEP.Close()
+	}
+}
+
+// TestSocketTransportFIFOAndAtomicity is the lockstep property test for
+// the socket transport, mirroring the mpsc stress suite: under many
+// concurrent senders, every PutAll batch must arrive intact (one frame,
+// one delivery — never split, never interleaved) and each sender's
+// messages must arrive in send order, exactly once. Run with -race.
+func TestSocketTransportFIFOAndAtomicity(t *testing.T) {
+	const (
+		senders = 8
+		batches = 120
+		lps     = 4
+	)
+	shardOf := []int{1, 1, 1, 1} // every LP remote from the client's view
+	client, server, cleanup := socketPair(t, lps, shardOf)
+	defer cleanup()
+
+	type delivered struct {
+		dst int
+		ms  []Msg
+	}
+	var mu sync.Mutex
+	var got []delivered
+	done := make(chan struct{})
+	total := 0
+	for lp := 0; lp < lps; lp++ {
+		lp := lp
+		server.Bind(lp, func(ms []Msg) {
+			mu.Lock()
+			got = append(got, delivered{dst: lp, ms: ms})
+			total += len(ms)
+			if total == senders*batches*3 { // 3 msgs per batch
+				close(done)
+			}
+			mu.Unlock()
+		})
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(s), 7))
+			seq := uint64(0)
+			for b := 0; b < batches; b++ {
+				ms := make([]Msg, 3)
+				for i := range ms {
+					seq++
+					ms[i] = Msg{Kind: 1, From: int32(s), ID: uint64(b), Time: seq, Gate: int32(s)}
+				}
+				client.Send(rng.IntN(lps), ms)
+			}
+		}(s)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		t.Fatalf("timed out: %d of %d messages delivered", total, senders*batches*3)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	next := make([]uint64, senders)      // next expected per-sender Time
+	nextBatch := make([]uint64, senders) // next expected per-sender batch ID
+	for _, d := range got {
+		from := d.ms[0].From
+		// Atomicity: a delivered batch is exactly one sent batch — uniform
+		// sender, uniform batch ID, original size.
+		if len(d.ms) != 3 {
+			t.Fatalf("batch split or merged: %d msgs", len(d.ms))
+		}
+		for _, m := range d.ms {
+			if m.From != from || m.ID != d.ms[0].ID {
+				t.Fatalf("batch interleaved across senders: %+v vs %+v", m, d.ms[0])
+			}
+			// FIFO, exactly once: per-sender Time is the send counter.
+			if m.Time != next[from]+1 {
+				t.Fatalf("sender %d: message %d delivered after %d (reorder, loss, or duplicate)", from, m.Time, next[from])
+			}
+			next[from] = m.Time
+		}
+		if d.ms[0].ID != nextBatch[from] {
+			t.Fatalf("sender %d: batch %d delivered after batch %d", from, d.ms[0].ID, nextBatch[from])
+		}
+		nextBatch[from]++
+	}
+	for s, n := range next {
+		if n != batches*3 {
+			t.Errorf("sender %d: %d of %d messages delivered", s, n, batches*3)
+		}
+	}
+}
+
+// TestSocketTransportSurvivesChaosFaults drives the same FIFO/atomicity
+// contract while a chaos goroutine drops the connection, duplicates
+// frames, and freezes both directions: the reliable layer (retransmit
+// after reconnect, sequence dedup) must make every fault invisible
+// above the seam.
+func TestSocketTransportSurvivesChaosFaults(t *testing.T) {
+	const (
+		senders = 4
+		batches = 150
+	)
+	shardOf := []int{1}
+	client, server, cleanup := socketPair(t, 1, shardOf)
+	defer cleanup()
+
+	var mu sync.Mutex
+	next := make([]uint64, senders)
+	total := 0
+	done := make(chan struct{})
+	server.Bind(0, func(ms []Msg) {
+		mu.Lock()
+		defer mu.Unlock()
+		from := ms[0].From
+		for _, m := range ms {
+			if m.From != from {
+				t.Errorf("batch interleaved: %+v vs sender %d", m, from)
+			}
+			if m.Time != next[from]+1 {
+				t.Errorf("sender %d: message %d after %d", from, m.Time, next[from])
+			}
+			next[from] = m.Time
+			total++
+		}
+		if total == senders*batches*2 {
+			close(done)
+		}
+	})
+
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		rng := rand.New(rand.NewPCG(99, 1))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(1+rng.IntN(4)) * time.Millisecond):
+			}
+			switch i % 4 {
+			case 0:
+				client.Endpoint().ChaosDropConn()
+			case 1:
+				client.Endpoint().ChaosDup()
+			case 2:
+				client.Endpoint().FreezeOut(time.Duration(rng.IntN(5)) * time.Millisecond)
+			case 3:
+				client.Endpoint().FreezeIn(time.Duration(rng.IntN(5)) * time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			seq := uint64(0)
+			for b := 0; b < batches; b++ {
+				ms := make([]Msg, 2)
+				for i := range ms {
+					seq++
+					ms[i] = Msg{From: int32(s), Time: seq}
+				}
+				client.Send(0, ms)
+			}
+		}(s)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		mu.Lock()
+		t.Fatalf("timed out under chaos: %d of %d messages delivered (reconnects=%d)",
+			total, senders*batches*2, client.Endpoint().Reconnects())
+	}
+	close(stop)
+	chaosWG.Wait()
+}
+
+// TestBatchRoundTrip pins the wire encoding.
+func TestBatchRoundTrip(t *testing.T) {
+	in := []Msg{
+		{Kind: 2, From: -1, ID: 1 << 62, Time: ^uint64(0), Gate: 1234, Value: 8},
+		{Kind: 0, From: 7, ID: 0, Time: 0, Gate: -1, Value: 0},
+	}
+	p := AppendBatch(nil, 42, in)
+	dst, out, err := DecodeBatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != 42 || len(out) != len(in) {
+		t.Fatalf("dst=%d n=%d", dst, len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("msg %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	if d, _ := BatchDst(p); d != 42 {
+		t.Errorf("BatchDst = %d", d)
+	}
+	if n, _ := BatchLen(p); n != 2 {
+		t.Errorf("BatchLen = %d", n)
+	}
+	if _, _, err := DecodeBatch(p[:len(p)-1]); err == nil {
+		t.Error("truncated batch decoded")
+	}
+}
+
+// TestHeartbeatAndGVTPayloads pins the control payload encodings.
+func TestHeartbeatAndGVTPayloads(t *testing.T) {
+	hb, err := DecodeHeartbeat(AppendHeartbeat(nil, Heartbeat{Events: 991, Idle: true}))
+	if err != nil || hb.Events != 991 || !hb.Idle {
+		t.Errorf("heartbeat: %+v, %v", hb, err)
+	}
+	gs, err := DecodeGVTStart(AppendGVTStart(nil, GVTStart{Round: 7}))
+	if err != nil || gs.Round != 7 {
+		t.Errorf("gvt-start: %+v, %v", gs, err)
+	}
+	gr, err := DecodeGVTReport(AppendGVTReport(nil, GVTReport{Round: 3, Quiet: true, LocalMin: 55, Sent: 10, Recv: 9}))
+	if err != nil || gr != (GVTReport{Round: 3, Quiet: true, LocalMin: 55, Sent: 10, Recv: 9}) {
+		t.Errorf("gvt-report: %+v, %v", gr, err)
+	}
+	gd, err := DecodeGVTDone(AppendGVTDone(nil, GVTDone{GVT: 123, Terminate: true}))
+	if err != nil || gd != (GVTDone{GVT: 123, Terminate: true}) {
+		t.Errorf("gvt-done: %+v, %v", gd, err)
+	}
+	h, err := decodeHello(appendHello(nil, Hello{Shard: 3, Attempt: 2, RecvSeq: 17}))
+	if err != nil || h != (Hello{Shard: 3, Attempt: 2, RecvSeq: 17}) {
+		t.Errorf("hello: %+v, %v", h, err)
+	}
+}

@@ -74,6 +74,52 @@ func (p *Partition) BlockGates() [][]circuit.GateID {
 	return p.blockGates
 }
 
+// Group folds the partition's LPs into contiguous, load-balanced shard
+// groups for distributed execution, returning an LP -> shard map in
+// [0, shards). Contiguity makes the layout a pure function of the
+// partition, which distributed recovery relies on: a restarted attempt
+// reproduces the same shard layout and so can restore per-shard
+// checkpoint restrictions written by its predecessor. Weights are
+// per-gate loads (nil for uniform); an LP's load is the sum over its
+// gates. Every shard receives at least one LP (shards is clamped to
+// [1, Blocks]).
+func (p *Partition) Group(shards int, w Weights) []int {
+	n := p.Blocks
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	load := make([]float64, n)
+	for g, b := range p.Assign {
+		x := 1.0
+		if w != nil {
+			x = w[g]
+		}
+		load[b] += x
+	}
+	var total float64
+	for _, x := range load {
+		total += x
+	}
+	target := total / float64(shards)
+	out := make([]int, n)
+	s := 0
+	var acc float64
+	for lp := 0; lp < n; lp++ {
+		// Advance when the current shard met its load target, or when the
+		// remaining shards would otherwise outnumber the remaining LPs.
+		if s < shards-1 && (acc >= target || shards-s > n-lp) {
+			s++
+			acc = 0
+		}
+		out[lp] = s
+		acc += load[lp]
+	}
+	return out
+}
+
 // CutLinks counts directed cross-block communication links: pairs
 // (net, consumer block) with the consumer in a different block than the
 // driver. This is the per-event message count, the communication-volume

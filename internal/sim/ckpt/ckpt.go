@@ -44,6 +44,14 @@ const Version = "parsim-checkpoint/v1"
 // cost a full-horizon shadow run.
 var ErrStop = errors.New("ckpt: capture complete")
 
+// ErrCorrupt is the structured sentinel for a snapshot that cannot be
+// trusted: a truncated file (a writer died mid-write and the atomic
+// rename never happened — or the filesystem lost the tail), or a
+// bit-flipped payload whose checksum no longer matches. Readers get an
+// error wrapping ErrCorrupt, never a panic, so distributed recovery can
+// skip the bad file and fall back to an older boundary with errors.Is.
+var ErrCorrupt = errors.New("ckpt: corrupt snapshot")
+
 // Event is one pending event in the snapshot: a scheduled output
 // change for a gate at an absolute modeled time strictly greater than
 // the checkpoint boundary.
@@ -84,6 +92,50 @@ type State struct {
 	Projected []logic.Value `json:"projected"`
 	Events    []Event       `json:"events"`
 	Waveform  []Sample      `json:"waveform"`
+
+	// Sum is an fnv64a checksum over the payload fields above; Write
+	// fills it in and Read verifies it, so a bit flip anywhere in the
+	// planes, events, or waveform surfaces as ErrCorrupt instead of a
+	// silently wrong restore. Empty on pre-checksum snapshots (accepted
+	// unverified for compatibility).
+	Sum string `json:"sum,omitempty"`
+}
+
+// sum computes the payload checksum Write stores in Sum.
+func (s *State) sum() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s %s %d %d %d %d\n", s.Version, s.Fingerprint, s.Time, s.Until, s.System, s.EndTime)
+	for _, p := range [][]logic.Value{s.Vals, s.PrevClk, s.Projected} {
+		fmt.Fprintf(h, "%d:", len(p))
+		for _, v := range p {
+			h.Write([]byte{byte(v)})
+		}
+		h.Write([]byte{'\n'})
+	}
+	for _, ev := range s.Events {
+		fmt.Fprintf(h, "e %d %d %d\n", ev.Time, ev.Gate, ev.Value)
+	}
+	for _, sm := range s.Waveform {
+		fmt.Fprintf(h, "w %d %d %d\n", sm.Time, sm.Gate, sm.Value)
+	}
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+// Seal fills in the payload checksum. Write calls it automatically;
+// callers embedding a State elsewhere (per-shard snapshots) call it
+// directly.
+func (s *State) Seal() { s.Sum = s.sum() }
+
+// Verify checks the payload checksum, returning an error wrapping
+// ErrCorrupt on mismatch. Snapshots without a checksum pass.
+func (s *State) Verify() error {
+	if s.Sum == "" {
+		return nil
+	}
+	if got := s.sum(); got != s.Sum {
+		return fmt.Errorf("%w: checksum %s, recorded %s (bit flip?)", ErrCorrupt, got, s.Sum)
+	}
+	return nil
 }
 
 // Fingerprint hashes the circuit topology (gate kinds, delays, fanin)
@@ -149,20 +201,27 @@ func FromWaveform(w trace.Waveform) []Sample {
 	return out
 }
 
-// Write serializes the snapshot as JSON.
+// Write serializes the snapshot as JSON, sealing the payload checksum
+// first.
 func Write(w io.Writer, s *State) error {
+	s.Seal()
 	enc := json.NewEncoder(w)
 	return enc.Encode(s)
 }
 
-// Read deserializes and version-checks a snapshot.
+// Read deserializes, version-checks, and checksum-verifies a snapshot.
+// A file that does not decode (truncated mid-write) or whose checksum
+// does not match (bit flip) yields an error wrapping ErrCorrupt.
 func Read(r io.Reader) (*State, error) {
 	var s State
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("ckpt: decode: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
 	}
 	if s.Version != Version {
 		return nil, fmt.Errorf("ckpt: version %q, want %q", s.Version, Version)
+	}
+	if err := s.Verify(); err != nil {
+		return nil, err
 	}
 	return &s, nil
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/dist/wire"
 	"repro/internal/eventq"
 	"repro/internal/logic"
 	"repro/internal/metrics"
@@ -115,6 +116,13 @@ type Config struct {
 	// for cone-split partitions, whose fat per-cone blocks saturate the
 	// dirty set on nearly every active step.
 	Sweep bool
+	// Dist, when non-nil, runs this process as one shard of a
+	// distributed simulation: only the LPs the seam maps to this shard
+	// execute locally, remote LPs' mailboxes are replaced by socket
+	// outboxes, and inbound batches are delivered through the seam's
+	// bindings. Null-message modes only (the deadlock-recovery
+	// coordinator needs a global snapshot); scalar runs only.
+	Dist *wire.Seam
 }
 
 // Result is the outcome of a conservative run.
@@ -277,6 +285,9 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	if err := stim.Validate(c); err != nil {
 		return nil, err
 	}
+	if err := checkDist(cfg); err != nil {
+		return nil, err
+	}
 	if cfg.System == 0 {
 		cfg.System = logic.NineValued
 	}
@@ -316,7 +327,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 	n := cfg.Partition.Blocks
 	recs := make([]trace.Recorder, n)
 	lps, sh, err := runCore(c, until, cfg, sink, "cmb",
-		stimEvents, bootEvents, seedState,
+		stimEvents, bootEvents, seedState, wireEncScalar, wireDecScalar,
 		func(self int, own []circuit.GateID) *kernel.LP {
 			k := kernel.New(c, cfg.Partition.Assign, self, cfg.System, watched, own)
 			if cfg.Sweep {
@@ -370,22 +381,36 @@ func runCore[V comparable](
 	engine string,
 	stimEvents, bootEvents []stimEvent[V],
 	seedState func(k *kernel.LPT[V]),
+	wireEnc func(msg[V]) wire.Msg,
+	wireDec func(wire.Msg) msg[V],
 	newKernel func(self int, own []circuit.GateID) *kernel.LPT[V],
 	record func(lp int, t circuit.Tick, g circuit.GateID, v V),
 ) ([]*clp[V], *shared[V], error) {
 	p := cfg.Partition
 	n := p.Blocks
 	owner := p.Assign
+	dist := cfg.Dist
+	// local reports LP residency; without a seam every LP is local.
+	local := func(lp int) bool { return dist == nil || dist.Local(lp) }
 
 	sh := &shared[V]{cfg: cfg, engine: engine, boot: seedState != nil, c: c, until: until, sink: sink}
 	sh.coShard = cfg.Tracer.Shard("coordinator")
 	sh.inboxes = make([]mpsc.Transport[msg[V]], n)
 	for i := range sh.inboxes {
+		if !local(i) {
+			// A remote LP's mailbox is a socket outbox: sends cross the
+			// seam as encoded frames, and nothing local ever drains it.
+			sh.inboxes[i] = &distOutbox[V]{sh: sh, dst: i, enc: wireEnc}
+			continue
+		}
 		var tr mpsc.Transport[msg[V]] = mpsc.NewCap[msg[V]](64)
 		if cfg.Chaos != nil {
 			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta[V])
 		}
 		sh.inboxes[i] = tr
+	}
+	if dist != nil {
+		defer bindDist(sh, engine, wireDec)()
 	}
 	// laBias widens every link lookahead when the chaos hook's sabotage
 	// knob is set: the engine then promises bounds it cannot keep, which
@@ -529,7 +554,7 @@ func runCore[V comparable](
 			}
 		}
 		for dst, cnt := range initCnt {
-			if cnt > 0 {
+			if cnt > 0 && local(dst) {
 				initial[dst] = make([]kernel.EventT[V], 0, cnt)
 			}
 		}
@@ -540,6 +565,12 @@ func runCore[V comparable](
 			ev := kernel.EventT[V]{Gate: ch.gate, Value: ch.value}
 			ii := idxOf[ch.gate]
 			for _, dst := range deliverDst[deliverOff[ii]:deliverOff[ii+1]] {
+				// Each shard routes only to its own LPs: every worker holds
+				// the full stimulus, so remote destinations are someone
+				// else's copy of this same loop.
+				if !local(dst) {
+					continue
+				}
 				if ch.time == 0 {
 					initial[dst] = append(initial[dst], ev)
 				} else {
@@ -556,11 +587,15 @@ func runCore[V comparable](
 		for _, ev := range bootEvents {
 			kev := kernel.EventT[V]{Gate: ev.gate, Value: ev.value}
 			seen[owner[ev.gate]] = true
-			lps[owner[ev.gate]].q.Push(uint64(ev.time), kev)
+			if local(owner[ev.gate]) {
+				lps[owner[ev.gate]].q.Push(uint64(ev.time), kev)
+			}
 			for _, fo := range c.Fanout[ev.gate] {
 				if b := owner[fo]; !seen[b] {
 					seen[b] = true
-					lps[b].q.Push(uint64(ev.time), kev)
+					if local(b) {
+						lps[b].q.Push(uint64(ev.time), kev)
+					}
 				}
 			}
 			seen[owner[ev.gate]] = false
@@ -579,15 +614,25 @@ func runCore[V comparable](
 			l.slot = board.LP(i)
 		}
 	}
-	wd := supervise.Watch(supervise.WatchConfig{
+	wcfg := supervise.WatchConfig{
 		Engine: engine, Timeout: cfg.HangTimeout, Board: board,
 		QueueDepth: func(i int) int { return sh.inboxes[i].Len() },
 		OnHang:     sh.fail,
-	})
+	}
+	if dist != nil {
+		wcfg.Transport = dist.TransportState
+	}
+	wd := supervise.Watch(wcfg)
 	defer wd.Stop()
 
 	var wg gosync.WaitGroup
 	for _, l := range lps {
+		if !local(l.id) {
+			// Remote LPs run on their own shard; mark the slot done so a
+			// hang report shows them as not-ours rather than stuck at init.
+			l.slot.SetPhase(supervise.PhaseDone)
+			continue
+		}
 		wg.Add(1)
 		go func(l *clp[V]) {
 			defer wg.Done()
@@ -736,7 +781,12 @@ func (l *clp[V]) flushSends() {
 func (l *clp[V]) handle(m msg[V]) bool {
 	switch m.kind {
 	case msgValue:
-		l.sh.transit.Add(-1)
+		// A remote sender's message never entered the local transit
+		// ledger (it left its shard's at flush and crossed as seam
+		// wire-recv), so only locally originated values decrement.
+		if d := l.sh.cfg.Dist; d == nil || d.Local(m.from) {
+			l.sh.transit.Add(-1)
+		}
 		l.st.MessagesRecv++
 		if m.time < l.lvt {
 			l.sh.fail(&supervise.SimError{
@@ -813,11 +863,11 @@ func (l *clp[V]) run(initialEvents []kernel.EventT[V]) {
 				_, ev, _ := l.q.PopMin()
 				l.evs = append(l.evs, ev)
 			}
-			if max := l.sh.cfg.MaxEvents; max > 0 {
-				if l.sh.events.Add(uint64(len(l.evs))) > max {
-					l.sh.abortAll()
-					return
-				}
+			// The shared counter is always maintained — distributed runs
+			// report it in heartbeats — and doubles as the runaway guard.
+			if processed := l.sh.events.Add(uint64(len(l.evs))); l.sh.cfg.MaxEvents > 0 && processed > l.sh.cfg.MaxEvents {
+				l.sh.abortAll()
+				return
 			}
 			// Publish progress before the step so a single long evaluation
 			// is not mistaken for a hang.

@@ -50,6 +50,9 @@ func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick,
 	if cfg.Chaos != nil {
 		return nil, fmt.Errorf("cmb: wide runs do not support chaos injection")
 	}
+	if cfg.Dist != nil {
+		return nil, fmt.Errorf("cmb: wide runs do not support distributed execution (the wire format carries scalar values)")
+	}
 	if cfg.System == 0 {
 		cfg.System = logic.FourValued
 	}
@@ -74,7 +77,7 @@ func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick,
 	n := cfg.Partition.Blocks
 	recs := make([]trace.WideRecorder, n)
 	lps, sh, err := runCore(c, until, cfg, sink, "cmb-wide",
-		stimEvents, nil, nil,
+		stimEvents, nil, nil, nil, nil,
 		func(self int, own []circuit.GateID) *kernel.WideLP {
 			k := kernel.NewWide(c, cfg.Partition.Assign, self, cfg.System, watched, own)
 			k.EnableSweep(kernel.SweepThreshold(len(own)))

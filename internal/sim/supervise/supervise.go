@@ -39,6 +39,10 @@ const (
 	// KindEventLimit is the MaxEvents runaway guard tripping; it is
 	// deterministic for a given workload, so supervisors must not retry.
 	KindEventLimit
+	// KindShardLoss is a distributed-run verdict: a worker shard was lost
+	// (crash, hang, or network partition) and the coordinator exhausted
+	// its checkpoint-restart budget without completing the run.
+	KindShardLoss
 )
 
 // String names the kind.
@@ -54,6 +58,8 @@ func (k Kind) String() string {
 		return "panic"
 	case KindEventLimit:
 		return "event-limit"
+	case KindShardLoss:
+		return "shard-loss"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

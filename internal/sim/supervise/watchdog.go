@@ -144,6 +144,26 @@ type LPReport struct {
 	MailboxDepth int    `json:"mailbox_depth"`
 }
 
+// TransportState is one peer link's state in a hang report. Distributed
+// runs attach one entry per shard connection, so a distributed hang is
+// diagnosable from the report alone: a dead or partitioned link shows
+// up as Connected=false or a stale LastHeartbeatMs, and a send-side
+// stall as a growing unacked backlog.
+type TransportState struct {
+	// Shard is the peer shard index.
+	Shard int `json:"shard"`
+	// Connected reports whether the link currently has a live connection.
+	Connected bool `json:"connected"`
+	// LastHeartbeatMs is the age of the most recent heartbeat (or any
+	// frame) received from the peer, in milliseconds; -1 if none yet.
+	LastHeartbeatMs int64 `json:"last_heartbeat_ms"`
+	// UnackedBatches is the number of sequenced frames sent but not yet
+	// acknowledged by the peer.
+	UnackedBatches int `json:"unacked_batches"`
+	// Reconnects counts completed reconnections on this link.
+	Reconnects uint64 `json:"reconnects"`
+}
+
 // HangReport is the machine-readable diagnostic the watchdog emits when
 // no LP makes progress for the deadline. It implements error and
 // renders as a one-line prefix followed by the JSON body, so both
@@ -152,6 +172,9 @@ type HangReport struct {
 	Engine       string     `json:"engine"`
 	NoProgressMs int64      `json:"no_progress_ms"`
 	LPs          []LPReport `json:"lps"`
+	// Transport is the per-shard link state of a distributed run; empty
+	// for single-process runs.
+	Transport []TransportState `json:"transport,omitempty"`
 }
 
 // Error renders the report with the JSON body inline.
@@ -174,6 +197,9 @@ type WatchConfig struct {
 	Board *Board
 	// QueueDepth probes an LP's mailbox depth for the report; may be nil.
 	QueueDepth func(lp int) int
+	// Transport snapshots per-shard link state for the report; may be
+	// nil (single-process runs).
+	Transport func() []TransportState
 	// OnHang receives the *SimError (Kind KindHang, Cause *HangReport)
 	// when the deadline trips. It is called once, from the watchdog
 	// goroutine; engines pass their abort-everything fail hook.
@@ -266,6 +292,9 @@ func (w *Watchdog) report(cfg WatchConfig, stuck time.Duration) *HangReport {
 			lr.MailboxDepth = cfg.QueueDepth(i)
 		}
 		rep.LPs = append(rep.LPs, lr)
+	}
+	if cfg.Transport != nil {
+		rep.Transport = cfg.Transport()
 	}
 	return rep
 }

@@ -1,0 +1,206 @@
+package timewarp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/dist/wire"
+	"repro/internal/logic"
+	"repro/internal/sim/supervise"
+)
+
+// checkDist validates a distributed configuration. The Time Warp
+// protocol itself distributes — values and anti-messages are
+// point-to-point and GVT becomes the seam's hub-driven conversation —
+// but the single-coordinator control loops that need a frozen global
+// view do not: the memory throttle and the adaptive window controller
+// both sample every LP's state during the pause, and hybrid clusters
+// barrier inside one process.
+func checkDist(cfg Config) error {
+	if cfg.Dist == nil {
+		return nil
+	}
+	if cfg.IntraWorkers > 1 {
+		return fmt.Errorf("timewarp: distributed runs do not support hybrid intra-LP clusters")
+	}
+	if cfg.HistoryLimit > 0 {
+		return fmt.Errorf("timewarp: distributed runs do not support the history-limit memory throttle")
+	}
+	if cfg.Adapt != nil {
+		return fmt.Errorf("timewarp: distributed runs do not support the adaptive window controller")
+	}
+	return nil
+}
+
+// wireEncScalar projects a scalar Time Warp message onto the wire
+// format; ID carries the message identity anti-message annihilation
+// keys on.
+func wireEncScalar(m msg[logic.Value]) wire.Msg {
+	return wire.Msg{
+		Kind:  uint8(m.kind),
+		From:  int32(m.from),
+		ID:    m.id,
+		Time:  uint64(m.time),
+		Gate:  int32(m.gate),
+		Value: uint8(m.value),
+	}
+}
+
+// wireDecScalar is the inverse projection.
+func wireDecScalar(w wire.Msg) msg[logic.Value] {
+	return msg[logic.Value]{
+		kind:  msgKind(w.Kind),
+		from:  int(w.From),
+		id:    w.ID,
+		time:  circuit.Tick(w.Time),
+		gate:  circuit.GateID(w.Gate),
+		value: logic.Value(w.Value),
+	}
+}
+
+// distOutbox is the remote half of the transport seam: an
+// mpsc.Transport standing in for a remote LP's mailbox, whose PutAll
+// encodes the batch and hands it to the socket seam as one frame (so
+// batch atomicity and per-sender FIFO — which annihilation depends on —
+// survive the wire). Values and anti-messages leave the local transit
+// ledger here, after the seam has counted them into its wire-sent
+// ledger, so no GVT round can observe them in neither: local quiescence
+// covers buffered messages, the Mattern counts cover the wire.
+type distOutbox[V comparable] struct {
+	sh  *shared[V]
+	dst int
+	enc func(msg[V]) wire.Msg
+}
+
+func (o *distOutbox[V]) Put(m msg[V]) { o.PutAll([]msg[V]{m}) }
+
+func (o *distOutbox[V]) PutAll(ms []msg[V]) {
+	if len(ms) == 0 {
+		return
+	}
+	ws := make([]wire.Msg, len(ms))
+	counted := int64(0)
+	for i, m := range ms {
+		ws[i] = o.enc(m)
+		if m.kind == msgValue || m.kind == msgAnti {
+			counted++
+		}
+	}
+	o.sh.cfg.Dist.Send(o.dst, ws)
+	if counted > 0 {
+		o.sh.transit.Add(-counted)
+	}
+}
+
+func (o *distOutbox[V]) TryDrain(buf []msg[V]) []msg[V]          { return buf }
+func (o *distOutbox[V]) WaitDrain(buf []msg[V]) ([]msg[V], bool) { return buf, false }
+func (o *distOutbox[V]) Poke()                                   {}
+func (o *distOutbox[V]) Close()                                  {}
+func (o *distOutbox[V]) Len() int                                { return 0 }
+
+// bindDist wires the seam to this worker's local mailboxes: inbound
+// batches decode and deliver with one PutAll, a link failure aborts the
+// run (and CancelWait in fail unblocks the GVT loop), and the heartbeat
+// probe reads the shared event counter plus the all-idle flag the hub
+// paces GVT rounds on. Returns the deferred unhook.
+func bindDist[V comparable](sh *shared[V], engine string, dec func(wire.Msg) msg[V], nLocal int) func() {
+	dist := sh.cfg.Dist
+	for i := range sh.inboxes {
+		if !dist.Local(i) {
+			continue
+		}
+		ib := sh.inboxes[i]
+		dist.Bind(i, func(ws []wire.Msg) {
+			batch := make([]msg[V], len(ws))
+			for j, w := range ws {
+				batch[j] = dec(w)
+			}
+			ib.PutAll(batch)
+		})
+	}
+	dist.OnDown(func(err error) {
+		sh.fail(&supervise.SimError{
+			Engine: engine, LP: -1, Phase: "transport",
+			Kind: supervise.KindInternal, Cause: err,
+		})
+	})
+	dist.SetProgress(func() (uint64, bool) {
+		return sh.events.Load(), sh.idle.Load() == int64(nLocal)
+	})
+	return func() {
+		dist.OnDown(nil)
+		dist.SetProgress(nil)
+	}
+}
+
+// distCoordinate is the worker half of distributed GVT. The hub owns
+// pacing and conclusion — it repeats rounds until every shard reports
+// quiet with matching, stable wire counts (Mattern-style message
+// counting) — while this loop answers each round exactly like the
+// single-process coordinator's inner collection: freeze processing,
+// poll the local LPs through their inboxes, and fold their replies into
+// one report. A concluded GVT is applied by the same msgGVTDone /
+// msgTerminate broadcast the local protocol uses, so the LPs cannot
+// tell the difference.
+func distCoordinate[V comparable](sh *shared[V], localLPs []int) (uint64, circuit.Tick) {
+	dist := sh.cfg.Dist
+	var rounds uint64
+	gvt := circuit.Tick(0)
+	for {
+		cmd, err := dist.GVTNext()
+		if err != nil {
+			// Link death or engine abort; fail is idempotent and the
+			// transport OnDown hook usually got there first.
+			sh.fail(&supervise.SimError{
+				Engine: sh.engine, LP: -1, Phase: "gvt",
+				Kind: supervise.KindInternal, Cause: err,
+			})
+			return rounds, gvt
+		}
+		switch cmd.Kind {
+		case wire.CmdRound:
+			sh.paused.Store(true)
+			for _, i := range localLPs {
+				sh.inboxes[i].Put(msg[V]{kind: msgGVTRound})
+			}
+			var handled uint64
+			localMin := infTick
+			for k := 0; k < len(localLPs); {
+				select {
+				case r := <-sh.replies:
+					handled += r.handled
+					if r.localMin < localMin {
+						localMin = r.localMin
+					}
+					k++
+				case <-time.After(5 * time.Millisecond):
+					if sh.abort.Load() {
+						sh.paused.Store(false)
+						return rounds, gvt
+					}
+				}
+			}
+			if sh.abort.Load() {
+				sh.paused.Store(false)
+				return rounds, gvt
+			}
+			rounds++
+			quiet := handled == 0 && sh.transit.Load() == 0
+			dist.GVTReport(cmd.Round, quiet, uint64(localMin))
+		case wire.CmdDone:
+			gvt = circuit.Tick(cmd.GVT)
+			sh.paused.Store(false)
+			for _, i := range localLPs {
+				sh.inboxes[i].Put(msg[V]{kind: msgGVTDone, time: gvt})
+			}
+		case wire.CmdTerminate:
+			gvt = circuit.Tick(cmd.GVT)
+			for _, i := range localLPs {
+				sh.inboxes[i].Put(msg[V]{kind: msgTerminate})
+			}
+			sh.paused.Store(false)
+			return rounds, gvt
+		}
+	}
+}

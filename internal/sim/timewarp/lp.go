@@ -538,7 +538,12 @@ func (l *tlp[V]) fossilCollect(gvt circuit.Tick) {
 func (l *tlp[V]) handle(m msg[V]) bool {
 	switch m.kind {
 	case msgValue:
-		l.sh.transit.Add(-1)
+		// A remote sender's message never entered the local transit
+		// ledger (it left its shard's at flush and crossed as seam
+		// wire-recv), so only locally originated messages decrement.
+		if d := l.sh.cfg.Dist; d == nil || d.Local(m.from) {
+			l.sh.transit.Add(-1)
+		}
 		l.st.MessagesRecv++
 		l.handledSince++
 		if m.time < l.fossilFloor {
@@ -555,7 +560,9 @@ func (l *tlp[V]) handle(m msg[V]) bool {
 		l.q.ResetFloor()
 		l.q.Push(uint64(m.time), qevent[V]{gate: m.gate, value: m.value, id: m.id})
 	case msgAnti:
-		l.sh.transit.Add(-1)
+		if d := l.sh.cfg.Dist; d == nil || d.Local(m.from) {
+			l.sh.transit.Add(-1)
+		}
 		l.st.AntiMessagesRecv++
 		l.handledSince++
 		if m.time < l.fossilFloor {

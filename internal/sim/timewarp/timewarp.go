@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/dist/wire"
 	"repro/internal/eventq"
 	"repro/internal/logic"
 	"repro/internal/metrics"
@@ -176,6 +177,13 @@ type Config struct {
 	// resets its sampling epoch between segments); within one run only
 	// the coordinator goroutine touches it.
 	Adapt *adapt.WindowController
+	// Dist, when non-nil, runs this process as one shard of a
+	// distributed simulation: only the LPs the seam maps to this shard
+	// execute locally, remote LPs' mailboxes are replaced by socket
+	// outboxes, and GVT becomes the seam's hub-driven round protocol
+	// instead of the local pause-the-world coordinator. Scalar runs
+	// only; incompatible with IntraWorkers, HistoryLimit, and Adapt.
+	Dist *wire.Seam
 }
 
 // Result is the outcome of an optimistic run.
@@ -284,6 +292,11 @@ func (sh *shared[V]) fail(err error) {
 	sh.errOnce.Do(func() { sh.err = err })
 	sh.abort.Store(true)
 	sh.cfg.Chaos.Release()
+	if sh.cfg.Dist != nil {
+		// Unpark a distributed GVT loop blocked on the coordinator: the
+		// hub will never answer a dead run.
+		sh.cfg.Dist.CancelWait()
+	}
 	for _, ib := range sh.inboxes {
 		ib.Poke()
 	}
@@ -309,6 +322,9 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 		return nil, err
 	}
 	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	if err := checkDist(cfg); err != nil {
 		return nil, err
 	}
 	if cfg.System == 0 {
@@ -352,7 +368,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 
 	recs := make([]trace.Recorder, n)
 	lps, sh, gvtRounds, finalGVT, err := runCore(c, until, cfg, sink, "timewarp",
-		stimEvents, bootEvents, seedState,
+		stimEvents, bootEvents, seedState, wireEncScalar, wireDecScalar,
 		func(self int, own []circuit.GateID) *kernel.LP {
 			k := kernel.New(c, owner, self, cfg.System, watched, own)
 			if cfg.Sweep {
@@ -403,6 +419,7 @@ func Run(c *circuit.Circuit, stim *vectors.Stimulus, until circuit.Tick, cfg Con
 // returned LPs.
 func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, sink metrics.Sink,
 	engine string, stimEvents, bootEvents []stimChange[V], seedState func(k *kernel.LPT[V]),
+	wireEnc func(msg[V]) wire.Msg, wireDec func(wire.Msg) msg[V],
 	newKernel func(self int, own []circuit.GateID) *kernel.LPT[V],
 	newRecorder func(lp int) recorderOf[V]) ([]*tlp[V], *shared[V], uint64, circuit.Tick, error) {
 	if cfg.GVTInterval == 0 {
@@ -415,11 +432,26 @@ func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, s
 	p := cfg.Partition
 	n := p.Blocks
 	owner := p.Assign
+	dist := cfg.Dist
+	// local reports LP residency; without a seam every LP is local.
+	local := func(lp int) bool { return dist == nil || dist.Local(lp) }
+	var localLPs []int
+	for i := 0; i < n; i++ {
+		if local(i) {
+			localLPs = append(localLPs, i)
+		}
+	}
 
 	sh := &shared[V]{cfg: cfg, engine: engine, boot: seedState != nil, c: c, until: until, sink: sink, tracer: cfg.Tracer}
 	sh.coShard = cfg.Tracer.Shard("coordinator")
 	sh.inboxes = make([]mpsc.Transport[msg[V]], n)
 	for i := range sh.inboxes {
+		if !local(i) {
+			// A remote LP's mailbox is a socket outbox: sends cross the
+			// seam as encoded frames, and nothing local ever drains it.
+			sh.inboxes[i] = &distOutbox[V]{sh: sh, dst: i, enc: wireEnc}
+			continue
+		}
 		var tr mpsc.Transport[msg[V]] = mpsc.New[msg[V]]()
 		if cfg.Chaos != nil {
 			tr = inject.Wrap(cfg.Chaos, i, tr, msgMeta[V])
@@ -427,6 +459,9 @@ func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, s
 		sh.inboxes[i] = tr
 	}
 	sh.replies = make(chan gvtReply, n)
+	if dist != nil {
+		defer bindDist(sh, engine, wireDec, len(localLPs))()
+	}
 
 	// The scoreboard is always created: it costs n cache lines and
 	// feeds both the watchdog (when armed) and the adaptive sampler's
@@ -466,6 +501,12 @@ func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, s
 				continue
 			}
 			for _, dst := range deliverTo[ch.gate] {
+				// Each shard routes only to its own LPs: every worker
+				// holds the full stimulus, so remote destinations are
+				// someone else's copy of this same loop.
+				if !local(dst) {
+					continue
+				}
 				l := lps[dst]
 				ev := qevent[V]{gate: ch.gate, value: ch.value, id: l.newID()}
 				if ch.time == 0 {
@@ -493,23 +534,36 @@ func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, s
 				}
 			}
 			for _, dst := range dsts {
+				if !local(dst) {
+					continue
+				}
 				l := lps[dst]
 				l.q.Push(uint64(ev.time), qevent[V]{gate: ev.gate, value: ev.value, id: l.newID()})
 			}
 		}
 	}
 
-	wd := supervise.Watch(supervise.WatchConfig{
+	wcfg := supervise.WatchConfig{
 		Engine:     engine,
 		Timeout:    cfg.HangTimeout,
 		Board:      board,
 		QueueDepth: func(i int) int { return sh.inboxes[i].Len() },
 		OnHang:     sh.fail,
-	})
+	}
+	if dist != nil {
+		wcfg.Transport = dist.TransportState
+	}
+	wd := supervise.Watch(wcfg)
 	defer wd.Stop()
 
 	var wg gosync.WaitGroup
 	for _, l := range lps {
+		if !local(l.id) {
+			// Remote LPs run on their own shard; mark the slot done so a
+			// hang report shows them as not-ours rather than stuck at init.
+			l.slot.SetPhase(supervise.PhaseDone)
+			continue
+		}
 		wg.Add(1)
 		go func(l *tlp[V]) {
 			defer wg.Done()
@@ -532,7 +586,11 @@ func runCore[V comparable](c *circuit.Circuit, until circuit.Tick, cfg Config, s
 				sh.fail(supervise.FromPanic(engine, -1, "coordinate", 0, r))
 			}
 		}()
-		gvtRounds, finalGVT = coordinate(sh, lps)
+		if dist != nil {
+			gvtRounds, finalGVT = distCoordinate(sh, localLPs)
+		} else {
+			gvtRounds, finalGVT = coordinate(sh, lps)
+		}
 	})
 	wg.Wait()
 	wd.Stop()

@@ -55,6 +55,9 @@ func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick,
 	if cfg.Chaos != nil {
 		return nil, fmt.Errorf("timewarp: wide runs do not support chaos injection")
 	}
+	if cfg.Dist != nil {
+		return nil, fmt.Errorf("timewarp: wide runs do not support distributed execution (the wire format carries scalar values)")
+	}
 	if cfg.System == 0 {
 		cfg.System = logic.FourValued
 	}
@@ -81,7 +84,7 @@ func RunWide(c *circuit.Circuit, stim *vectors.WideStimulus, until circuit.Tick,
 
 	recs := make([]trace.WideRecorder, n)
 	lps, sh, gvtRounds, finalGVT, err := runCore(c, until, cfg, sink, "timewarp-wide",
-		stimEvents, nil, nil,
+		stimEvents, nil, nil, nil, nil,
 		func(self int, own []circuit.GateID) *kernel.WideLP {
 			k := kernel.NewWide(c, owner, self, cfg.System, watched, own)
 			k.EnableSweep(kernel.SweepThreshold(len(own)))

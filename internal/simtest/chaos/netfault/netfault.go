@@ -1,0 +1,164 @@
+// Package netfault is the real-network half of the chaos harness:
+// seeded plans of connection-scoped socket faults for distributed runs.
+// Where package inject perturbs in-process mailbox delivery, netfault
+// perturbs the coordinator's relay of framed event batches over real
+// sockets: whole-direction stalls, connection drops (forcing reconnect
+// plus ordered retransmit), frame duplication (absorbed by sequence
+// dedup), symmetric partitions, and worker kills.
+//
+// Every fault is scoped to a connection, never to an individual frame:
+// the reliable wire layer (sequence numbers, cumulative acks, in-order
+// retransmit) then guarantees that per-sender FIFO delivery — which
+// both simulation protocols depend on — survives any plan. That mirrors
+// what a real TCP failure can and cannot do, and it is exactly the
+// fault model package inject's commutable-reordering rationale permits.
+//
+// A Plan is a pure function of (seed, shard count, fault count), so a
+// failing run replays from the integers in its repro line, and plans
+// shrink with the same ddmin machinery as in-process chaos plans
+// (chaos.ShrinkIndices over plan indices via Subset).
+package netfault
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Op is a network fault kind.
+type Op uint8
+
+// The fault kinds.
+const (
+	// OpStall holds the coordinator's relay of frames arriving from the
+	// shard for Ms milliseconds. Later frames from that shard queue
+	// behind the stall, so delivery is delayed but never reordered.
+	OpStall Op = iota
+	// OpDropConn closes the shard's connection. The worker re-dials with
+	// exponential backoff; unacknowledged frames retransmit in order on
+	// reattach.
+	OpDropConn
+	// OpDup re-sends the most recent sequenced frame delivered to the
+	// shard; the receiver's sequence dedup must absorb the duplicate.
+	OpDup
+	// OpPartition freezes both directions of the shard's link for Ms
+	// milliseconds without closing it: frames (and heartbeats) are
+	// neither sent nor read, as in a dropped route.
+	OpPartition
+	// OpKill terminates the worker outright (SIGKILL for a process
+	// worker, forced disconnect and abort for an in-process one). The
+	// coordinator must classify the loss and recover from the last
+	// complete per-shard checkpoint cut.
+	OpKill
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpStall:
+		return "stall"
+	case OpDropConn:
+		return "drop-conn"
+	case OpDup:
+		return "dup"
+	case OpPartition:
+		return "partition"
+	case OpKill:
+		return "kill"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Fault is one planned network perturbation.
+type Fault struct {
+	Op Op
+	// Shard is the worker whose link is perturbed.
+	Shard int
+	// AfterFrames triggers the fault once the coordinator has relayed
+	// this many frames from the shard (0-based count of inbound frames).
+	AfterFrames uint64
+	// Ms is the stall/partition duration in milliseconds.
+	Ms uint64
+	// Attempt restricts the fault to one run attempt (kills must not
+	// recur forever or recovery could never complete); -1 applies on
+	// every attempt.
+	Attempt int
+}
+
+// String renders the fault compactly and deterministically.
+func (f Fault) String() string {
+	at := "*"
+	if f.Attempt >= 0 {
+		at = fmt.Sprintf("%d", f.Attempt)
+	}
+	switch f.Op {
+	case OpStall, OpPartition:
+		return fmt.Sprintf("%s(shard%d after %d frames, %dms, attempt %s)", f.Op, f.Shard, f.AfterFrames, f.Ms, at)
+	default:
+		return fmt.Sprintf("%s(shard%d after %d frames, attempt %s)", f.Op, f.Shard, f.AfterFrames, at)
+	}
+}
+
+// Plan is an ordered fault list. Order matters only for shrinking: a
+// minimal failing subset is reported as indices into the plan.
+type Plan []Fault
+
+// Subset keeps the faults at the given plan indices, the projection
+// ddmin shrinking probes with.
+func (p Plan) Subset(idx []int) Plan {
+	out := make(Plan, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, p[i])
+	}
+	return out
+}
+
+// NewPlan derives a fault plan from a seed: a pure function of its
+// arguments — same seed, same plan, on every run and platform. Stall
+// and partition durations stay below maxHoldMs so a survivable plan
+// cannot by itself outlast a reasonably configured heartbeat timeout;
+// kills are generated only when allowKill is set, and each kill is
+// pinned to a distinct attempt (0, 1, 2, …) so a run with enough
+// restart budget always reaches a kill-free attempt.
+func NewPlan(seed uint64, shards, faults int, allowKill bool) Plan {
+	if shards < 1 {
+		shards = 1
+	}
+	const maxHoldMs = 40
+	rng := rand.New(rand.NewPCG(seed, 0xb5297a4d3f84d5a3))
+	plan := make(Plan, 0, faults)
+	kills := 0
+	for i := 0; i < faults; i++ {
+		f := Fault{Shard: rng.IntN(shards), Attempt: -1}
+		f.AfterFrames = uint64(rng.IntN(240))
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			f.Op = OpStall
+			f.Ms = 2 + uint64(rng.IntN(maxHoldMs-2))
+		case r < 0.55:
+			f.Op = OpDropConn
+		case r < 0.75:
+			f.Op = OpDup
+		case r < 0.90 || !allowKill:
+			f.Op = OpPartition
+			f.Ms = 2 + uint64(rng.IntN(maxHoldMs-2))
+		default:
+			f.Op = OpKill
+			f.Attempt = kills
+			kills++
+		}
+		plan = append(plan, f)
+	}
+	return plan
+}
+
+// Kills counts the kill faults in the plan — the minimum restart budget
+// a run needs to reach a kill-free attempt.
+func (p Plan) Kills() int {
+	n := 0
+	for _, f := range p {
+		if f.Op == OpKill {
+			n++
+		}
+	}
+	return n
+}
