@@ -69,7 +69,7 @@ func (b *baseline) fingerprint() string {
 
 func main() {
 	benchtime := flag.String("benchtime", "20x", "per-benchmark budget (testing -benchtime syntax)")
-	filter := flag.String("filter", "all", "which suite slice to run: all, micro, wide, opt, conesplit, adapt, or engines")
+	filter := flag.String("filter", "all", "which suite slice to run: all, micro, wide, opt, conesplit, adapt, dist, or engines")
 	out := flag.String("o", "BENCH_parsim.json", "output path ('-' for stdout)")
 	force := flag.Bool("force", false, "overwrite an existing baseline even if its environment fingerprint differs")
 	flag.Parse()
@@ -97,10 +97,12 @@ func main() {
 		suite = benchsuite.ConeSplit()
 	case "adapt":
 		suite = benchsuite.Adapt()
+	case "dist":
+		suite = benchsuite.Dist()
 	case "engines":
 		suite = benchsuite.Engines()
 	default:
-		fmt.Fprintf(os.Stderr, "benchbaseline: unknown -filter %q (want all, micro, wide, opt, conesplit, adapt, or engines)\n", *filter)
+		fmt.Fprintf(os.Stderr, "benchbaseline: unknown -filter %q (want all, micro, wide, opt, conesplit, adapt, dist, or engines)\n", *filter)
 		os.Exit(2)
 	}
 

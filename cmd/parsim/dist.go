@@ -21,6 +21,9 @@ type distConfig struct {
 	workDir   string
 	restarts  int
 	hbTimeout time.Duration
+	hbEvery   time.Duration
+	mesh      bool
+	ckptDelta bool
 
 	chaosSeed   uint64
 	chaosFaults int
@@ -60,7 +63,13 @@ func runDist(cfg distConfig) {
 	}
 	var plan netfault.Plan
 	if cfg.chaosFaults > 0 {
-		plan = netfault.NewPlan(cfg.chaosSeed, cfg.shards, cfg.chaosFaults, cfg.chaosKill)
+		// On a mesh topology roughly half the non-kill faults retarget a
+		// direct worker-to-worker link; hub-only plans keep their meaning.
+		if cfg.mesh {
+			plan = netfault.NewMeshPlan(cfg.chaosSeed, cfg.shards, cfg.chaosFaults, cfg.chaosKill)
+		} else {
+			plan = netfault.NewPlan(cfg.chaosSeed, cfg.shards, cfg.chaosFaults, cfg.chaosKill)
+		}
 		if !cfg.quiet {
 			fmt.Printf("dist chaos: seed=%d faults=%d kills=%d\n", cfg.chaosSeed, len(plan), plan.Kills())
 			for _, f := range plan {
@@ -92,7 +101,10 @@ func runDist(cfg distConfig) {
 		Restarts:         cfg.restarts,
 		Fallback:         cfg.fallback,
 		HeartbeatTimeout: cfg.hbTimeout,
+		HeartbeatEvery:   cfg.hbEvery,
 		Network:          cfg.network,
+		Mesh:             cfg.mesh,
+		CkptDelta:        cfg.ckptDelta,
 		Plan:             plan,
 		Spawn:            spawn,
 		Metrics:          reg,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -81,6 +82,94 @@ func TestDistExecKillRecoversVCD(t *testing.T) {
 	}
 }
 
+// TestDistMeshMatchesSeqVCDAndStarvesHub: with -dist-mesh the waveform
+// must still match the sequential reference byte for byte, while the
+// metrics report proves the topology change — every inter-shard event
+// batch took a direct worker link (hub data-plane bytes exactly zero,
+// one relay hop instead of two).
+func TestDistMeshMatchesSeqVCDAndStarvesHub(t *testing.T) {
+	dir := t.TempDir()
+	golden := distGolden(t, dir)
+	for _, engine := range []string{"cmb", "timewarp"} {
+		t.Run(engine, func(t *testing.T) {
+			out := filepath.Join(dir, engine+"-mesh.vcd")
+			mpath := filepath.Join(dir, engine+"-mesh-metrics.json")
+			stdout, stderr, code := run(t,
+				"-circuit", "ripple8", "-engine", engine, "-lps", "6", "-vectors", "20",
+				"-dist", "3", "-dist-mesh", "-dist-workdir", t.TempDir(),
+				"-vcd", out, "-metrics-out", mpath, "-q")
+			if code != 0 {
+				t.Fatalf("mesh run failed (%d):\n%s", code, stderr)
+			}
+			if !strings.Contains(stdout, "mode=dist") {
+				t.Errorf("summary line missing:\n%s", stdout)
+			}
+			if readFile(t, out) != readFile(t, golden) {
+				t.Error("mesh waveform differs from the sequential reference")
+			}
+			var rep struct {
+				Gauges map[string]float64 `json:"gauges"`
+			}
+			if err := json.Unmarshal([]byte(readFile(t, mpath)), &rep); err != nil {
+				t.Fatalf("metrics report does not parse: %v", err)
+			}
+			if hub := rep.Gauges["hub_bytes"]; hub != 0 {
+				t.Errorf("hub relayed %v data-plane bytes on a mesh run, want 0", hub)
+			}
+			if mesh := rep.Gauges["mesh_bytes"]; mesh <= 0 {
+				t.Errorf("mesh_bytes = %v, want > 0", mesh)
+			}
+			if hops := rep.Gauges["relay_hops"]; hops != 1 {
+				t.Errorf("relay_hops = %v, want 1", hops)
+			}
+		})
+	}
+}
+
+// TestDistMeshExecKillRecoversVCD is the mesh-topology twin of the
+// full-stack recovery e2e, with incremental checkpoints on: real worker
+// processes over direct peer links, a seeded plan whose kill SIGKILLs a
+// worker mid-run, delta-chained shard snapshots — and a recovered VCD
+// byte-identical to the uninterrupted sequential run. The fast
+// heartbeat pace matters twice: control frames are all the hub sees of
+// a mesh shard, so they both advance the chaos frame counter and feed
+// the GVT piggyback.
+func TestDistMeshExecKillRecoversVCD(t *testing.T) {
+	dir := t.TempDir()
+	worker := filepath.Join(dir, "parsimd-worker")
+	if out, err := exec.Command("go", "build", "-o", worker, "../parsimd-worker").CombinedOutput(); err != nil {
+		t.Fatalf("building parsimd-worker: %v\n%s", err, out)
+	}
+	golden := distGolden(t, dir)
+	workDir := filepath.Join(dir, "work")
+
+	out := filepath.Join(dir, "mesh-dist.vcd")
+	stdout, stderr, code := run(t,
+		"-circuit", "ripple8", "-engine", "cmb", "-lps", "4", "-vectors", "20",
+		"-dist", "2", "-dist-mesh", "-dist-exec", worker, "-dist-workdir", workDir,
+		"-ckpt-delta", "-checkpoint-every", "200", "-dist-restarts", "3",
+		"-dist-heartbeat-every", "1ms",
+		"-dist-chaos-seed", "23", "-dist-chaos-faults", "12", "-dist-chaos-kill",
+		"-vcd", out, "-q")
+	if code != 0 {
+		t.Fatalf("mesh chaos run failed (%d):\n%s", code, stderr)
+	}
+	m := regexp.MustCompile(`recoveries=(\d+)`).FindStringSubmatch(stdout)
+	if m == nil {
+		t.Fatalf("summary missing the recovery count:\n%s", stdout)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 1 {
+		t.Errorf("chaos kill forced no recovery:\n%s", stdout)
+	}
+	if readFile(t, out) != readFile(t, golden) {
+		t.Error("post-recovery mesh waveform differs from the sequential reference")
+	}
+	deltas, err := filepath.Glob(filepath.Join(workDir, "shard-*-delta-*.json"))
+	if err != nil || len(deltas) == 0 {
+		t.Errorf("no delta checkpoint records on disk (err=%v)", err)
+	}
+}
+
 // TestExitCodeShardLoss extends the exit-code matrix: a kill plan with
 // no restart budget and fallback disabled must abort with the
 // shard-loss code (6) and a structured error naming the lost shard.
@@ -134,6 +223,8 @@ func TestDistFlagConflicts(t *testing.T) {
 		{"adapt", []string{"-dist", "2", "-adapt"}, "-adapt"},
 		{"restore", []string{"-dist", "2", "-restore", "x.json"}, "-restore"},
 		{"engine", []string{"-dist", "2", "-engine", "hybrid"}, "hybrid"},
+		{"mesh-without-dist", []string{"-dist-mesh"}, "-dist-mesh"},
+		{"delta-without-dist", []string{"-ckpt-delta"}, "-ckpt-delta"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			_, stderr, code := run(t, append([]string{"-circuit", "ripple8", "-q"}, tc.args...)...)

@@ -99,6 +99,9 @@ func main() {
 		distWorkDir   = flag.String("dist-workdir", "", "distributed: directory for shard checkpoints and boot files (empty = temporary)")
 		distRestarts  = flag.Int("dist-restarts", 2, "distributed: fleet restart budget after a shard loss")
 		distHBTimeout = flag.Duration("dist-heartbeat-timeout", time.Second, "distributed: a result-less shard silent this long is declared lost")
+		distHBEvery   = flag.Duration("dist-heartbeat-every", 0, "distributed: worker heartbeat pace (0 = engine default; also the GVT piggyback cadence on a mesh)")
+		distMesh      = flag.Bool("dist-mesh", false, "distributed: route inter-shard event batches over direct worker-to-worker links (hub keeps only the control plane)")
+		ckptDelta     = flag.Bool("ckpt-delta", false, "distributed: after the first full shard snapshot per attempt, write fingerprint-chained delta records at later boundaries (requires -dist)")
 
 		distChaosSeed   = flag.Uint64("dist-chaos-seed", 1, "distributed chaos: netfault plan seed")
 		distChaosFaults = flag.Int("dist-chaos-faults", 0, "distributed chaos: number of planned network faults (0 = off)")
@@ -173,6 +176,9 @@ func main() {
 
 	until := core.Horizon(c, stim)
 
+	if *distShards == 0 && (*distMesh || *ckptDelta) {
+		fatal(fmt.Errorf("-dist-mesh and -ckpt-delta require -dist"))
+	}
 	if *distShards > 0 {
 		// The distributed path regenerates the circuit and stimulus inside
 		// every worker from the job spec, so transformations applied only
@@ -204,6 +210,7 @@ func main() {
 		runDist(distConfig{
 			shards: *distShards, exec: *distExec, network: *distNetwork,
 			workDir: *distWorkDir, restarts: *distRestarts, hbTimeout: *distHBTimeout,
+			hbEvery: *distHBEvery, mesh: *distMesh, ckptDelta: *ckptDelta,
 			chaosSeed: *distChaosSeed, chaosFaults: *distChaosFaults, chaosKill: *distChaosKill,
 			benchPath: *benchPath, circName: *circName, fineDelays: *fineDelays,
 			seed: *seed, vectors: *nvectors, activity: *activity, period: *period,

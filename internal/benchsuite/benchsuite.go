@@ -38,14 +38,15 @@ type Benchmark struct {
 }
 
 // All returns the full suite: microbenchmarks first, then the wide-plane
-// rows, the optimizer and cone-split rows, then the per-engine end-to-end
-// runs.
+// rows, the optimizer, cone-split, adaptive, and distributed-topology
+// rows, then the per-engine end-to-end runs.
 func All() []Benchmark {
 	out := Micro()
 	out = append(out, Wide()...)
 	out = append(out, Opt()...)
 	out = append(out, ConeSplit()...)
 	out = append(out, Adapt()...)
+	out = append(out, Dist()...)
 	return append(out, Engines()...)
 }
 

@@ -401,12 +401,21 @@ func TestDistSoak(t *testing.T) {
 	}
 	_, _, until, ref := golden(t)
 
-	attempt := func(t *testing.T, engine string, plan netfault.Plan) error {
+	attempt := func(t *testing.T, engine string, mesh bool, plan netfault.Plan) error {
 		opts := baseOpts(t, engine, 3, until)
 		opts.CheckpointEvery = 200
 		opts.Restarts = 3
 		opts.HeartbeatTimeout = 2 * time.Second
 		opts.Plan = plan
+		// The mesh arm soaks the direct data plane together with
+		// incremental checkpoints, so every recovery replays a delta
+		// chain; kills land faster with a quick beacon because the mesh
+		// hub link carries control frames only.
+		if mesh {
+			opts.Mesh = true
+			opts.CkptDelta = true
+			opts.HeartbeatEvery = time.Millisecond
+		}
 		res, err := Run(opts)
 		if err != nil {
 			return err
@@ -422,24 +431,30 @@ func TestDistSoak(t *testing.T) {
 	}
 
 	for _, engine := range []string{"cmb", "timewarp"} {
-		for seed := uint64(1); seed <= uint64(seeds); seed++ {
-			name := fmt.Sprintf("%s/seed%d", engine, seed)
-			t.Run(name, func(t *testing.T) {
+		for _, mesh := range []bool{false, true} {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				name := fmt.Sprintf("%s/seed%d", engine, seed)
 				plan := netfault.NewPlan(seed, 3, 10, true)
-				err := attempt(t, engine, plan)
-				if err == nil {
-					return
+				if mesh {
+					name = fmt.Sprintf("%s/mesh/seed%d", engine, seed)
+					plan = netfault.NewMeshPlan(seed, 3, 10, true)
 				}
-				// Shrink to a minimal failing fault subset for the repro.
-				min, failure := chaos.ShrinkIndices(len(plan), err.Error(), func(idx []int) (bool, string) {
-					if e := attempt(t, engine, plan.Subset(idx)); e != nil {
-						return true, e.Error()
+				t.Run(name, func(t *testing.T) {
+					err := attempt(t, engine, mesh, plan)
+					if err == nil {
+						return
 					}
-					return false, ""
-				}, 25)
-				t.Errorf("seed %d failed: %s\nminimal fault subset %v of plan:\n%v",
-					seed, failure, min, plan.Subset(min))
-			})
+					// Shrink to a minimal failing fault subset for the repro.
+					min, failure := chaos.ShrinkIndices(len(plan), err.Error(), func(idx []int) (bool, string) {
+						if e := attempt(t, engine, mesh, plan.Subset(idx)); e != nil {
+							return true, e.Error()
+						}
+						return false, ""
+					}, 25)
+					t.Errorf("mesh=%v seed %d failed: %s\nminimal fault subset %v of plan:\n%v",
+						mesh, seed, failure, min, plan.Subset(min))
+				})
+			}
 		}
 	}
 }

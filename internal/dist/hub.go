@@ -82,6 +82,17 @@ type Options struct {
 	// WorkDir).
 	Network string
 
+	// Mesh routes inter-shard event batches over direct worker-to-worker
+	// links dialed from a hub-distributed routing table; the hub keeps
+	// only the control plane (GVT, heartbeats, results, chaos). Falls
+	// back to hub relay per-batch for any route without a mesh link.
+	Mesh bool
+	// CkptDelta makes per-shard checkpoints incremental: full snapshot
+	// at the first boundary of each attempt, fingerprint-chained delta
+	// records after, with recovery replaying the chain and degrading to
+	// the last full snapshot when a link is broken.
+	CkptDelta bool
+
 	// GVTInterval is the wall-clock ceiling between distributed GVT
 	// cycles for the optimistic engines (default 50ms); like the
 	// single-process coordinator, cycles are normally paced by reported
@@ -317,6 +328,7 @@ func (h *hub) jobFor(shard, attempt int, bootPath string) *Job {
 		Shards:        o.Shards, Shard: shard, Attempt: attempt,
 		CheckpointEvery: o.CheckpointEvery, CheckpointDir: ckptDir,
 		Boot: bootPath,
+		Mesh: o.Mesh, MeshDir: h.workDir, CkptDelta: o.CkptDelta,
 	}
 }
 
@@ -417,6 +429,7 @@ func (h *hub) runAttempt(attempt int) (*Result, error) {
 	res := &Result{Shards: h.opts.Shards}
 	shardRes := make([]*shardResult, len(sess.links))
 	var reconnects uint64
+	var meshBytes, fullBytes, deltaBytes, fulls, deltas uint64
 	for s, link := range sess.links {
 		sr := link.result.Load()
 		if sr == nil || len(sr.Values) != h.c.NumGates() {
@@ -431,6 +444,30 @@ func (h *hub) runAttempt(attempt int) (*Result, error) {
 		}
 		res.Events += sr.Events
 		reconnects += link.ep.Reconnects()
+		meshBytes += sr.MeshBytes
+		fullBytes += sr.CkptFullBytes
+		deltaBytes += sr.CkptDeltaBytes
+		fulls += sr.CkptFulls
+		deltas += sr.CkptDeltas
+	}
+	// Data-plane routing gauges: hub_bytes is FBatch payload the hub
+	// relayed, mesh_bytes what flowed shard-to-shard; relay_hops is the
+	// data plane's hop count (1 only when the mesh carried everything).
+	hubBytes := sess.hubDataBytes.Load()
+	h.gauge("hub_bytes", float64(hubBytes))
+	h.gauge("mesh_bytes", float64(meshBytes))
+	hops := 2.0
+	if h.opts.Mesh && hubBytes == 0 {
+		hops = 1.0
+	}
+	h.gauge("relay_hops", hops)
+	h.gauge("dist_gvt_rounds", float64(sess.gvtRounds.Load()))
+	// Checkpoint volume gauges: delta_ratio is mean delta record size
+	// over mean full snapshot size — the incremental saving per boundary.
+	h.gauge("ckpt_full_bytes", float64(fullBytes))
+	h.gauge("ckpt_delta_bytes", float64(deltaBytes))
+	if fulls > 0 && deltas > 0 && fullBytes > 0 {
+		h.gauge("delta_ratio", (float64(deltaBytes)/float64(deltas))/(float64(fullBytes)/float64(fulls)))
 	}
 	res.Values = make([]logic.Value, h.c.NumGates())
 	var n int
@@ -471,6 +508,21 @@ type session struct {
 	err    error
 	once   sync.Once
 	torn   atomic.Bool
+
+	// hubDataBytes counts FBatch payload relayed through the hub — the
+	// data-plane share of hub traffic. Under a healthy mesh it stays 0:
+	// every batch takes the direct route.
+	hubDataBytes atomic.Uint64
+	// gvtRounds counts explicit GVT rounds driven over the wire; the
+	// heartbeat piggyback exists to keep this low in steady state.
+	gvtRounds atomic.Uint64
+
+	// meshMu guards the mesh address table while workers announce their
+	// listeners; when the last address lands the table is broadcast once.
+	meshMu    sync.Mutex
+	meshAddrs []string
+	meshSeen  int
+	meshSent  bool
 }
 
 // shardLink is one worker's connection, process, chaos state, and
@@ -488,6 +540,10 @@ type shardLink struct {
 
 	hbEvents atomic.Uint64
 	hbIdle   atomic.Bool
+	// hbSent/hbRecv are the latest piggybacked cumulative wire counters;
+	// the GVT driver seeds its two-observation Mattern check from them.
+	hbSent atomic.Uint64
+	hbRecv atomic.Uint64
 
 	// frames counts inbound frames relayed/handled from this shard;
 	// faults lists the plan entries scoped to this shard and attempt, in
@@ -512,11 +568,12 @@ func (l *shardLink) getProc() Proc {
 
 func newSession(h *hub, attempt int) *session {
 	sess := &session{
-		h:       h,
-		attempt: attempt,
-		links:   make([]*shardLink, h.opts.Shards),
-		resCh:   make(chan struct{}, h.opts.Shards),
-		failed:  make(chan struct{}),
+		h:         h,
+		attempt:   attempt,
+		links:     make([]*shardLink, h.opts.Shards),
+		resCh:     make(chan struct{}, h.opts.Shards),
+		failed:    make(chan struct{}),
+		meshAddrs: make([]string, h.opts.Shards),
 	}
 	for s := range sess.links {
 		link := &shardLink{reports: make(chan wire.GVTReport, 16)}
@@ -567,7 +624,30 @@ func (s *session) handle(src int, kind byte, payload []byte) {
 			s.fail(fmt.Errorf("dist: shard %d batched to unknown lp %d", src, dst))
 			return
 		}
+		s.hubDataBytes.Add(uint64(len(payload)))
 		s.links[s.h.shardOf[dst]].ep.Send(wire.FBatch, payload)
+	case wire.FMeshAddr:
+		ma, err := wire.DecodeMeshAddr(payload)
+		if err != nil || ma.Shard != src {
+			s.fail(fmt.Errorf("dist: shard %d sent a malformed mesh address", src))
+			return
+		}
+		s.meshMu.Lock()
+		if s.meshAddrs[src] == "" {
+			s.meshAddrs[src] = ma.Addr
+			s.meshSeen++
+		}
+		// Broadcast the routing table exactly once, when the last shard's
+		// listener address lands. Workers block in mesh setup until it
+		// arrives.
+		if s.meshSeen == len(s.links) && !s.meshSent {
+			s.meshSent = true
+			p := wire.AppendMeshTable(nil, wire.MeshTable{Addrs: s.meshAddrs})
+			for _, l := range s.links {
+				l.ep.Send(wire.FMeshTable, p)
+			}
+		}
+		s.meshMu.Unlock()
 	case wire.FHeartbeat:
 		hb, err := wire.DecodeHeartbeat(payload)
 		if err != nil {
@@ -575,6 +655,8 @@ func (s *session) handle(src int, kind byte, payload []byte) {
 		}
 		link.hbEvents.Store(hb.Events)
 		link.hbIdle.Store(hb.Idle)
+		link.hbSent.Store(hb.Sent)
+		link.hbRecv.Store(hb.Recv)
 	case wire.FGVTReport:
 		rep, err := wire.DecodeGVTReport(payload)
 		if err != nil {
@@ -605,7 +687,17 @@ func (s *session) handle(src int, kind byte, payload []byte) {
 // fire applies one chaos fault to a shard's link. Stalls sleep on the
 // read goroutine (delaying, never reordering, subsequent relays);
 // everything else maps to a wire- or process-level primitive.
+// Mesh-targeted faults (Peer > 0) are forwarded to the worker as a
+// sequenced FChaos order over the control link, and the worker applies
+// the primitive to the targeted peer endpoint itself — the hub cannot
+// reach a mesh link directly.
 func (s *session) fire(link *shardLink, f netfault.Fault) {
+	if f.Peer > 0 && f.Op != netfault.OpKill && s.h.opts.Mesh {
+		link.ep.Send(wire.FChaos, wire.AppendChaos(nil, wire.Chaos{
+			Op: uint8(f.Op), Peer: int32(f.Peer - 1), Ms: f.Ms,
+		}))
+		return
+	}
 	d := time.Duration(f.Ms) * time.Millisecond
 	switch f.Op {
 	case netfault.OpStall:
@@ -732,8 +824,21 @@ func (s *session) gvtDriver() {
 
 		var gvt uint64
 		var prev *gvtTotals
+		// Steady-state shortcut: when every shard's latest heartbeat
+		// reports idle and the piggybacked cumulative wire counters
+		// balance, that beacon set is already one quiet Mattern
+		// observation. Seeding it as the previous round lets a single
+		// explicit round — quiet, with the same matching totals — conclude
+		// the cycle: equal monotone counters at two observations mean no
+		// message moved in between, so nothing is in transit. The fallback
+		// (activity between beacon and round, or stale beacons) is simply
+		// the old two-round conversation.
+		if hb, ok := s.hbTotals(); ok {
+			prev = &hb
+		}
 		for {
 			round++
+			s.gvtRounds.Add(1)
 			for _, link := range s.links {
 				link.ep.Send(wire.FGVTStart, wire.AppendGVTStart(nil, wire.GVTStart{Round: round}))
 			}
@@ -758,6 +863,21 @@ func (s *session) gvtDriver() {
 			return
 		}
 	}
+}
+
+// hbTotals folds the fleet's latest piggybacked heartbeat counters into
+// a candidate quiet observation: ok only when every shard's beacon
+// reports idle and the cumulative send/receive sums balance.
+func (s *session) hbTotals() (gvtTotals, bool) {
+	tot := gvtTotals{quiet: true, min: ^uint64(0)}
+	for _, link := range s.links {
+		if !link.hbIdle.Load() {
+			return tot, false
+		}
+		tot.sent += link.hbSent.Load()
+		tot.recv += link.hbRecv.Load()
+	}
+	return tot, tot.sent == tot.recv
 }
 
 // gvtTotals folds one round's per-shard reports.

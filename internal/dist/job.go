@@ -94,6 +94,16 @@ type Job struct {
 	// Boot is the path of the merged snapshot this attempt resumes
 	// from ("" = fresh start at t=0).
 	Boot string `json:"boot,omitempty"`
+
+	// Mesh routes inter-shard event batches over direct worker-to-worker
+	// links; the hub keeps only the control plane. MeshDir holds the mesh
+	// listener sockets for the unix network.
+	Mesh    bool   `json:"mesh,omitempty"`
+	MeshDir string `json:"mesh_dir,omitempty"`
+	// CkptDelta makes shard checkpoints incremental: a full snapshot at
+	// the first boundary of each attempt, fingerprint-chained delta
+	// records after.
+	CkptDelta bool `json:"ckpt_delta,omitempty"`
 }
 
 // validEngine reports whether the engine name distributes.
@@ -220,6 +230,16 @@ type shardResult struct {
 	EndTime  uint64        `json:"end_time"`
 	Events   uint64        `json:"events"`
 	GVT      uint64        `json:"gvt,omitempty"`
+	// MeshBytes is FBatch payload volume this shard sent over direct
+	// mesh links (0 on the hub-relay path); the hub folds these into the
+	// mesh_bytes gauge opposite its own hub_bytes relay count.
+	MeshBytes uint64 `json:"mesh_bytes,omitempty"`
+	// Checkpoint volume accounting: bytes and record counts written as
+	// full snapshots versus delta records, behind the delta_ratio gauge.
+	CkptFullBytes  uint64 `json:"ckpt_full_bytes,omitempty"`
+	CkptDeltaBytes uint64 `json:"ckpt_delta_bytes,omitempty"`
+	CkptFulls      uint64 `json:"ckpt_fulls,omitempty"`
+	CkptDeltas     uint64 `json:"ckpt_deltas,omitempty"`
 }
 
 // wfSample is a JSON-stable waveform sample.

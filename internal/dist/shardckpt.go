@@ -28,9 +28,24 @@ import (
 // read time; the merge skips that boundary and falls back to the next
 // older one, down to a fresh start when nothing survives.
 
-// shardCkptName names shard s's snapshot at boundary t.
+// shardCkptName names shard s's full snapshot at boundary t.
 func shardCkptName(shard int, t uint64) string {
 	return fmt.Sprintf("shard-%03d-ckpt-%010d.json", shard, t)
+}
+
+// shardDeltaName names shard s's incremental record at boundary t.
+func shardDeltaName(shard int, t uint64) string {
+	return fmt.Sprintf("shard-%03d-delta-%010d.json", shard, t)
+}
+
+// fileSize is best-effort on-disk size accounting for the checkpoint
+// volume gauges (0 when unreadable — never an error path).
+func fileSize(path string) uint64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return uint64(fi.Size())
 }
 
 // restrictToShard projects a full shadow snapshot onto one shard: owned
@@ -121,10 +136,14 @@ func mergeShardStates(states []*ckpt.State, gateShard []int) (*ckpt.State, error
 }
 
 // latestBoundary scans the checkpoint directory for the newest boundary
-// with a valid snapshot from every shard, skipping boundaries with
-// missing, truncated, or bit-flipped files (ckpt.ErrCorrupt), and
-// returns the merged cut. A nil state (no error) means no complete
-// boundary survives and recovery must restart from t=0.
+// reconstructible for every shard — from a full snapshot directly, or
+// by replaying a fingerprint-chained delta sequence down to one — and
+// returns the merged cut. Boundaries with missing, truncated, or
+// bit-flipped files (ckpt.ErrCorrupt), or with a broken delta chain,
+// are skipped in favor of the next older one; since the first boundary
+// of every attempt is a full snapshot, a broken chain degrades to the
+// last full snapshot, never to a wrong state. A nil state (no error)
+// means no boundary survives and recovery must restart from t=0.
 func latestBoundary(dir string, shards int, gateShard []int) (*ckpt.State, uint64, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -133,16 +152,33 @@ func latestBoundary(dir string, shards int, gateShard []int) (*ckpt.State, uint6
 		}
 		return nil, 0, err
 	}
-	// Collect boundary times that have a file for every shard.
+	// Index which boundaries each shard has, and as what kind of record.
+	fulls := make([]map[uint64]bool, shards)
+	deltas := make([]map[uint64]bool, shards)
+	for s := range fulls {
+		fulls[s] = map[uint64]bool{}
+		deltas[s] = map[uint64]bool{}
+	}
 	seen := map[uint64]int{}
 	for _, e := range entries {
 		var shard int
 		var t uint64
-		if _, err := fmt.Sscanf(e.Name(), "shard-%d-ckpt-%d.json", &shard, &t); err != nil {
+		if _, err := fmt.Sscanf(e.Name(), "shard-%d-ckpt-%d.json", &shard, &t); err == nil {
+			if shard >= 0 && shard < shards && !fulls[shard][t] {
+				fulls[shard][t] = true
+				if !deltas[shard][t] {
+					seen[t]++
+				}
+			}
 			continue
 		}
-		if shard >= 0 && shard < shards {
-			seen[t]++
+		if _, err := fmt.Sscanf(e.Name(), "shard-%d-delta-%d.json", &shard, &t); err == nil {
+			if shard >= 0 && shard < shards && !deltas[shard][t] {
+				deltas[shard][t] = true
+				if !fulls[shard][t] {
+					seen[t]++
+				}
+			}
 		}
 	}
 	times := make([]uint64, 0, len(seen))
@@ -157,11 +193,12 @@ func latestBoundary(dir string, shards int, gateShard []int) (*ckpt.State, uint6
 		states := make([]*ckpt.State, shards)
 		ok := true
 		for s := 0; s < shards; s++ {
-			st, err := ckpt.ReadFile(filepath.Join(dir, shardCkptName(s, t)))
+			st, err := reconstructShard(dir, s, t, fulls[s], deltas[s])
 			if err != nil {
-				// Corrupt or unreadable: this boundary is unusable, try the
-				// next older one. Anything else (version skew) also falls
-				// back — a bad snapshot must never wedge recovery.
+				// Corrupt, unreadable, or chain-broken: this boundary is
+				// unusable, try the next older one. Anything else (version
+				// skew) also falls back — a bad snapshot must never wedge
+				// recovery.
 				ok = false
 				break
 			}
@@ -177,6 +214,34 @@ func latestBoundary(dir string, shards int, gateShard []int) (*ckpt.State, uint6
 		return merged, t, nil
 	}
 	return nil, 0, nil
+}
+
+// reconstructShard rebuilds shard s's snapshot at boundary t: a full
+// file directly, otherwise the delta at t replayed onto the recursively
+// reconstructed base it names. Apply verifies every chain link (the
+// base's checksum must match the delta's recorded BaseSum), so a
+// mid-chain corruption surfaces as ckpt.ErrCorrupt here rather than as
+// a silently wrong boot state. BaseTime must strictly decrease, so a
+// corrupt record cannot send the walk into a cycle.
+func reconstructShard(dir string, shard int, t uint64, fulls, deltas map[uint64]bool) (*ckpt.State, error) {
+	if fulls[t] {
+		return ckpt.ReadFile(filepath.Join(dir, shardCkptName(shard, t)))
+	}
+	if !deltas[t] {
+		return nil, fmt.Errorf("%w: shard %d has no record at boundary %d", ckpt.ErrCorrupt, shard, t)
+	}
+	d, err := ckpt.ReadDeltaFile(filepath.Join(dir, shardDeltaName(shard, t)))
+	if err != nil {
+		return nil, err
+	}
+	if d.BaseTime >= t {
+		return nil, fmt.Errorf("%w: shard %d delta at %d names non-decreasing base %d", ckpt.ErrCorrupt, shard, t, d.BaseTime)
+	}
+	base, err := reconstructShard(dir, shard, d.BaseTime, fulls, deltas)
+	if err != nil {
+		return nil, err
+	}
+	return d.Apply(base)
 }
 
 // prefixOf returns the boot state's waveform prefix as engine samples

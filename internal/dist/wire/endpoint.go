@@ -68,6 +68,7 @@ type Endpoint struct {
 	connGen        uint64
 	sendSeq        uint64 // last assigned outgoing seq
 	sentUpTo       uint64 // highest seq written to the current conn
+	maxSent        uint64 // highest seq ever written on any conn
 	unacked        []savedFrame
 	recvSeq        uint64 // highest contiguous seq delivered
 	lastAckSent    uint64
@@ -78,6 +79,8 @@ type Endpoint struct {
 
 	reconnects   atomic.Uint64
 	dupsDropped  atomic.Uint64
+	frames       atomic.Uint64 // sequenced frames delivered in order
+	retransmits  atomic.Uint64 // sequenced frames written more than once
 	lastRecvNano atomic.Int64
 	frozenInNano atomic.Int64
 	downOnce     sync.Once
@@ -113,7 +116,16 @@ func (e *Endpoint) redial(prevErr error) error {
 			return ErrDown
 		}
 		if attempt > 0 {
-			time.Sleep(backoff/2 + rand.N(backoff/2+1))
+			// Clamp the sleep itself, not just the next doubling: the
+			// jittered sleep lands in [d/2, d) with d capped at RedialCap
+			// from the very first retry, so a large RedialBase can never
+			// stretch a redial past the cap (and past the hub's heartbeat
+			// watchdog window).
+			d := backoff
+			if d > e.cfg.RedialCap {
+				d = e.cfg.RedialCap
+			}
+			time.Sleep(d/2 + rand.N(d/2+1))
 			if backoff *= 2; backoff > e.cfg.RedialCap {
 				backoff = e.cfg.RedialCap
 			}
@@ -244,6 +256,11 @@ func (e *Endpoint) flushLocked() {
 			e.conn.Close()
 			return
 		}
+		if fr.seq <= e.maxSent {
+			e.retransmits.Add(1)
+		} else {
+			e.maxSent = fr.seq
+		}
 		e.sentUpTo = fr.seq
 		e.lastAckSent = e.recvSeq
 	}
@@ -324,6 +341,7 @@ func (e *Endpoint) readLoop(c net.Conn, gen uint64) {
 					continue
 				}
 				e.recvSeq = seq
+				e.frames.Add(1)
 				needAck = e.recvSeq-e.lastAckSent >= ackEvery
 			}
 		} else {
@@ -398,6 +416,13 @@ func (e *Endpoint) DupsDropped() uint64 { return e.dupsDropped.Load() }
 // Reconnects counts completed reconnections.
 func (e *Endpoint) Reconnects() uint64 { return e.reconnects.Load() }
 
+// Frames counts sequenced frames delivered in order on this link.
+func (e *Endpoint) Frames() uint64 { return e.frames.Load() }
+
+// Retransmits counts sequenced frames written more than once (reconnect
+// replays and chaos duplicates).
+func (e *Endpoint) Retransmits() uint64 { return e.retransmits.Load() }
+
 // State snapshots the link for watchdog hang reports.
 func (e *Endpoint) State() supervise.TransportState {
 	e.mu.Lock()
@@ -414,6 +439,9 @@ func (e *Endpoint) State() supervise.TransportState {
 		LastHeartbeatMs: hb,
 		UnackedBatches:  unacked,
 		Reconnects:      e.reconnects.Load(),
+		Frames:          e.frames.Load(),
+		Retransmits:     e.retransmits.Load(),
+		DupsDropped:     e.dupsDropped.Load(),
 	}
 }
 
@@ -454,6 +482,8 @@ func (e *Endpoint) ChaosDup() {
 		if fr.seq == e.sentUpTo {
 			if err := writeFrame(e.conn, fr.kind, fr.seq, e.recvSeq, fr.payload); err != nil {
 				e.conn.Close()
+			} else {
+				e.retransmits.Add(1)
 			}
 			return
 		}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 )
@@ -40,6 +41,15 @@ const (
 	FAck
 	// FDone tells a worker every shard's result arrived and it may exit.
 	FDone
+	// FMeshAddr carries a worker's mesh listener address to the hub
+	// (JSON MeshAddr), the first half of the mesh handshake.
+	FMeshAddr
+	// FMeshTable carries the hub's complete shard -> mesh address routing
+	// table to every worker (JSON MeshTable), the second half.
+	FMeshTable
+	// FChaos carries a hub-injected chaos order for one of the worker's
+	// mesh links (netfault faults with a per-link mesh target).
+	FChaos
 )
 
 // MaxFrame bounds a frame's payload; a length beyond it means a
@@ -109,12 +119,20 @@ func decodeHello(p []byte) (Hello, error) {
 	}, nil
 }
 
-// Heartbeat is the worker liveness beacon payload.
+// Heartbeat is the worker liveness beacon payload. Sent and Recv
+// piggyback the shard's cumulative cross-shard message counters on the
+// beacon: the hub's GVT driver can observe a stable Mattern cut from
+// heartbeats alone and conclude a steady-state (all-idle) GVT cycle
+// after a single explicit round instead of two.
 type Heartbeat struct {
 	// Events is the shard's cumulative processed-event count.
 	Events uint64
 	// Idle reports every local LP parked with nothing to do.
 	Idle bool
+	// Sent and Recv are the shard's cumulative cross-shard message
+	// counts, the same counters an FGVTReport carries.
+	Sent uint64
+	Recv uint64
 }
 
 // AppendHeartbeat encodes a heartbeat payload.
@@ -124,15 +142,23 @@ func AppendHeartbeat(b []byte, h Heartbeat) []byte {
 	if h.Idle {
 		idle = 1
 	}
-	return append(b, idle)
+	b = append(b, idle)
+	b = binary.LittleEndian.AppendUint64(b, h.Sent)
+	b = binary.LittleEndian.AppendUint64(b, h.Recv)
+	return b
 }
 
 // DecodeHeartbeat decodes a heartbeat payload.
 func DecodeHeartbeat(p []byte) (Heartbeat, error) {
-	if len(p) != 9 {
+	if len(p) != 25 {
 		return Heartbeat{}, fmt.Errorf("wire: heartbeat payload %d bytes", len(p))
 	}
-	return Heartbeat{Events: binary.LittleEndian.Uint64(p[0:8]), Idle: p[8] == 1}, nil
+	return Heartbeat{
+		Events: binary.LittleEndian.Uint64(p[0:8]),
+		Idle:   p[8] == 1,
+		Sent:   binary.LittleEndian.Uint64(p[9:17]),
+		Recv:   binary.LittleEndian.Uint64(p[17:25]),
+	}, nil
 }
 
 // GVTStart is one distributed GVT round's kickoff payload.
@@ -219,4 +245,76 @@ func DecodeGVTDone(p []byte) (GVTDone, error) {
 		return GVTDone{}, fmt.Errorf("wire: gvt-done payload %d bytes", len(p))
 	}
 	return GVTDone{GVT: binary.LittleEndian.Uint64(p[0:8]), Terminate: p[8] == 1}, nil
+}
+
+// MeshAddr is a worker's FMeshAddr payload: where its mesh listener
+// accepts direct peer connections. JSON — mesh setup is cold-path.
+type MeshAddr struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+}
+
+// AppendMeshAddr encodes a mesh address announcement.
+func AppendMeshAddr(b []byte, m MeshAddr) []byte {
+	p, _ := json.Marshal(&m)
+	return append(b, p...)
+}
+
+// DecodeMeshAddr decodes a mesh address announcement.
+func DecodeMeshAddr(p []byte) (MeshAddr, error) {
+	var m MeshAddr
+	if err := json.Unmarshal(p, &m); err != nil {
+		return MeshAddr{}, fmt.Errorf("wire: mesh-addr payload: %v", err)
+	}
+	return m, nil
+}
+
+// MeshTable is the hub's FMeshTable payload: every shard's mesh listener
+// address, indexed by shard. Workers derive their neighbor sets from the
+// partition's cut edges; the table only supplies the addresses.
+type MeshTable struct {
+	Addrs []string `json:"addrs"`
+}
+
+// AppendMeshTable encodes the routing table.
+func AppendMeshTable(b []byte, m MeshTable) []byte {
+	p, _ := json.Marshal(&m)
+	return append(b, p...)
+}
+
+// DecodeMeshTable decodes the routing table.
+func DecodeMeshTable(p []byte) (MeshTable, error) {
+	var m MeshTable
+	if err := json.Unmarshal(p, &m); err != nil {
+		return MeshTable{}, fmt.Errorf("wire: mesh-table payload: %v", err)
+	}
+	return m, nil
+}
+
+// Chaos is a hub-injected fault order for one of the worker's mesh
+// links: Op mirrors netfault's op codes, Peer is the target peer shard,
+// Ms the stall/partition duration.
+type Chaos struct {
+	Op   uint8
+	Peer int32
+	Ms   uint64
+}
+
+// AppendChaos encodes a chaos order.
+func AppendChaos(b []byte, c Chaos) []byte {
+	b = append(b, c.Op)
+	b = binary.LittleEndian.AppendUint32(b, uint32(c.Peer))
+	return binary.LittleEndian.AppendUint64(b, c.Ms)
+}
+
+// DecodeChaos decodes a chaos order.
+func DecodeChaos(p []byte) (Chaos, error) {
+	if len(p) != 13 {
+		return Chaos{}, fmt.Errorf("wire: chaos payload %d bytes", len(p))
+	}
+	return Chaos{
+		Op:   p[0],
+		Peer: int32(binary.LittleEndian.Uint32(p[1:5])),
+		Ms:   binary.LittleEndian.Uint64(p[5:13]),
+	}, nil
 }

@@ -53,6 +53,16 @@ type Seam struct {
 	wireSent atomic.Uint64
 	wireRecv atomic.Uint64
 
+	// peers holds direct mesh endpoints per destination shard (nil
+	// entries route through the hub). Installed once, before the engine
+	// starts; published atomically so a late engine send cannot race the
+	// install. meshBytes/hubBytes split outbound FBatch payload volume by
+	// route, the data-plane accounting behind the hub_bytes/mesh_bytes
+	// gauges.
+	peers     atomic.Pointer[[]*Endpoint]
+	meshBytes atomic.Uint64
+	hubBytes  atomic.Uint64
+
 	gvt        chan GVTCmd
 	cancel     chan struct{}
 	cancelOnce sync.Once
@@ -110,13 +120,44 @@ func (s *Seam) Bind(lp int, fn func([]Msg)) {
 	s.pending[lp] = nil
 }
 
-// Send transmits a batch to a remote LP. The batch is counted sent
-// here, atomically with leaving the engine's local transit count, so no
-// GVT round can observe the messages in neither ledger. Link loss
-// surfaces through OnDown, not here: the run is aborted wholesale.
+// SetPeers installs the mesh routing slice: peers[shard] is the direct
+// endpoint for that shard, nil entries (and a nil slice) fall back to
+// the hub relay. Called once, after mesh links are connected and before
+// the engine starts.
+func (s *Seam) SetPeers(peers []*Endpoint) {
+	s.peers.Store(&peers)
+}
+
+// peerFor returns the direct mesh endpoint for a shard, or nil when the
+// route goes through the hub.
+func (s *Seam) peerFor(shard int) *Endpoint {
+	p := s.peers.Load()
+	if p == nil || shard < 0 || shard >= len(*p) {
+		return nil
+	}
+	return (*p)[shard]
+}
+
+// MeshBytes and HubBytes report outbound FBatch payload volume by
+// route: direct worker-to-worker versus relayed through the hub.
+func (s *Seam) MeshBytes() uint64 { return s.meshBytes.Load() }
+func (s *Seam) HubBytes() uint64  { return s.hubBytes.Load() }
+
+// Send transmits a batch to a remote LP — directly over the mesh link
+// to the destination's shard when one is installed, through the hub
+// relay otherwise. The batch is counted sent here, atomically with
+// leaving the engine's local transit count, so no GVT round can observe
+// the messages in neither ledger. Link loss surfaces through OnDown,
+// not here: the run is aborted wholesale.
 func (s *Seam) Send(dst int, ms []Msg) {
 	s.wireSent.Add(uint64(len(ms)))
 	payload := AppendBatch(make([]byte, 0, batchOverhead+len(ms)*msgSize), int32(dst), ms)
+	if ep := s.peerFor(s.shardOf[dst]); ep != nil {
+		s.meshBytes.Add(uint64(len(payload)))
+		ep.Send(FBatch, payload)
+		return
+	}
+	s.hubBytes.Add(uint64(len(payload)))
 	s.ep.Send(FBatch, payload)
 }
 
@@ -247,9 +288,19 @@ func (s *Seam) Progress() (events uint64, idle bool) {
 	return 0, false
 }
 
-// TransportState snapshots the coordinator link for hang reports.
+// TransportState snapshots the coordinator link and every installed
+// mesh link for hang reports, so a mesh partition is diagnosable from
+// the report alone.
 func (s *Seam) TransportState() []supervise.TransportState {
-	return []supervise.TransportState{s.ep.State()}
+	out := []supervise.TransportState{s.ep.State()}
+	if p := s.peers.Load(); p != nil {
+		for _, ep := range *p {
+			if ep != nil {
+				out = append(out, ep.State())
+			}
+		}
+	}
+	return out
 }
 
 // Endpoint exposes the underlying link (the worker's heartbeat loop and

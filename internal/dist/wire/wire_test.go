@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -241,6 +242,35 @@ func TestSocketTransportSurvivesChaosFaults(t *testing.T) {
 	chaosWG.Wait()
 }
 
+// TestRedialSleepCappedFromFirstRetry is the regression test for the
+// backoff clamp: RedialCap must bound every jittered sleep, including
+// the first retry's, not just the doubling of the next one. With the
+// old code a RedialBase above the cap slept the full base on the first
+// retry — here 2s each against a dead dialer, so four retries would
+// take multiple seconds. Capped, the whole budget burns in tens of
+// milliseconds.
+func TestRedialSleepCappedFromFirstRetry(t *testing.T) {
+	ep := New(Config{
+		Shard:      0,
+		Dial:       func() (net.Conn, error) { return nil, fmt.Errorf("dead address") },
+		MaxRedials: 4,
+		RedialBase: 2 * time.Second,
+		RedialCap:  10 * time.Millisecond,
+	})
+	defer ep.Close()
+	start := time.Now()
+	err := ep.Connect()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Connect to a dead dialer succeeded")
+	}
+	// 4 retries * <=10ms jittered sleep plus instant dial failures:
+	// generous margin, but far below the uncapped >=1s first sleep.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("redial budget took %v; sleeps not capped at RedialCap", elapsed)
+	}
+}
+
 // TestBatchRoundTrip pins the wire encoding.
 func TestBatchRoundTrip(t *testing.T) {
 	in := []Msg{
@@ -273,9 +303,21 @@ func TestBatchRoundTrip(t *testing.T) {
 
 // TestHeartbeatAndGVTPayloads pins the control payload encodings.
 func TestHeartbeatAndGVTPayloads(t *testing.T) {
-	hb, err := DecodeHeartbeat(AppendHeartbeat(nil, Heartbeat{Events: 991, Idle: true}))
-	if err != nil || hb.Events != 991 || !hb.Idle {
+	hb, err := DecodeHeartbeat(AppendHeartbeat(nil, Heartbeat{Events: 991, Idle: true, Sent: 40, Recv: 38}))
+	if err != nil || hb != (Heartbeat{Events: 991, Idle: true, Sent: 40, Recv: 38}) {
 		t.Errorf("heartbeat: %+v, %v", hb, err)
+	}
+	ma, err := DecodeMeshAddr(AppendMeshAddr(nil, MeshAddr{Shard: 4, Addr: "127.0.0.1:9999"}))
+	if err != nil || ma != (MeshAddr{Shard: 4, Addr: "127.0.0.1:9999"}) {
+		t.Errorf("mesh-addr: %+v, %v", ma, err)
+	}
+	mt, err := DecodeMeshTable(AppendMeshTable(nil, MeshTable{Addrs: []string{"a", "b"}}))
+	if err != nil || len(mt.Addrs) != 2 || mt.Addrs[0] != "a" || mt.Addrs[1] != "b" {
+		t.Errorf("mesh-table: %+v, %v", mt, err)
+	}
+	co, err := DecodeChaos(AppendChaos(nil, Chaos{Op: 3, Peer: 1, Ms: 25}))
+	if err != nil || co != (Chaos{Op: 3, Peer: 1, Ms: 25}) {
+		t.Errorf("chaos: %+v, %v", co, err)
 	}
 	gs, err := DecodeGVTStart(AppendGVTStart(nil, GVTStart{Round: 7}))
 	if err != nil || gs.Round != 7 {

@@ -53,17 +53,19 @@ type Worker struct {
 
 	ep *wire.Endpoint
 
-	// mu guards seam and preSeam: frames can arrive (on the endpoint
-	// read goroutine) before the job does, and the seam cannot exist
-	// until the job's partition is built. Batches and GVT commands that
-	// arrive early are buffered and replayed through the seam at install
-	// time, under the same lock, so no sequenced frame is ever dropped
-	// and order is preserved.
+	// mu guards seam, preSeam, and mesh: frames can arrive (on the
+	// endpoint read goroutine) before the job does, and the seam cannot
+	// exist until the job's partition is built. Batches and GVT commands
+	// that arrive early are buffered and replayed through the seam at
+	// install time, under the same lock, so no sequenced frame is ever
+	// dropped and order is preserved.
 	mu      sync.Mutex
 	seam    *wire.Seam
 	preSeam []bufferedFrame
+	mesh    *meshNet
 
 	jobCh    chan []byte
+	meshCh   chan wire.MeshTable
 	doneCh   chan struct{}
 	doneOnce sync.Once
 	downCh   chan struct{}
@@ -80,6 +82,7 @@ func NewWorker(network, addr string, shard, attempt int) *Worker {
 		shard:   shard,
 		attempt: attempt,
 		jobCh:   make(chan []byte, 1),
+		meshCh:  make(chan wire.MeshTable, 1),
 		doneCh:  make(chan struct{}),
 		downCh:  make(chan struct{}),
 	}
@@ -125,6 +128,24 @@ func (w *Worker) handle(kind byte, payload []byte) {
 		select {
 		case w.jobCh <- payload:
 		default:
+		}
+	case wire.FMeshTable:
+		if t, err := wire.DecodeMeshTable(payload); err == nil {
+			select {
+			case w.meshCh <- t:
+			default:
+			}
+		}
+	case wire.FChaos:
+		co, err := wire.DecodeChaos(payload)
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		m := w.mesh
+		w.mu.Unlock()
+		if m != nil {
+			m.applyChaos(co)
 		}
 	case wire.FDone:
 		w.doneOnce.Do(func() { close(w.doneCh) })
@@ -210,8 +231,12 @@ func (w *Worker) Run() error {
 				return
 			case <-t.C:
 				ev, idle := seam.Progress()
+				// Piggyback the cumulative wire counters on the beacon so
+				// the hub can observe a stable Mattern cut without extra
+				// round-trips in steady state.
+				sent, recv := seam.SentRecv()
 				w.ep.SendUnseq(wire.FHeartbeat,
-					wire.AppendHeartbeat(nil, wire.Heartbeat{Events: ev, Idle: idle}))
+					wire.AppendHeartbeat(nil, wire.Heartbeat{Events: ev, Idle: idle, Sent: sent, Recv: recv}))
 			}
 		}
 	}()
@@ -219,6 +244,38 @@ func (w *Worker) Run() error {
 		close(stopHB)
 		hbWG.Wait()
 	}()
+
+	// Mesh handshake: announce the listener, wait for the hub's routing
+	// table, then connect exactly the cut-edge neighbors. This completes
+	// before the checkpoint shadow and the engine, so every FBatch the
+	// engine sends already has its direct route installed.
+	if job.Mesh && job.Shards > 1 {
+		adj := meshNeighbors(c, part.Assign, shardOf, job.Shards)
+		m, err := newMeshNet(w.network, job.MeshDir, job, seam, adj[job.Shard])
+		if err != nil {
+			return w.sendError(err)
+		}
+		defer m.close()
+		w.mu.Lock()
+		w.mesh = m
+		w.mu.Unlock()
+		deadline := time.Now().Add(meshSetupWait)
+		if err := w.ep.Send(wire.FMeshAddr,
+			wire.AppendMeshAddr(nil, wire.MeshAddr{Shard: job.Shard, Addr: m.Addr()})); err != nil {
+			return w.sendError(err)
+		}
+		var table wire.MeshTable
+		select {
+		case table = <-w.meshCh:
+		case <-w.downCh:
+			return w.downErr
+		case <-time.After(meshSetupWait):
+			return w.sendError(fmt.Errorf("dist: shard %d: no mesh table within %v", job.Shard, meshSetupWait))
+		}
+		if err := m.connect(w.network, table, adj[job.Shard], deadline); err != nil {
+			return w.sendError(err)
+		}
+	}
 
 	var boot *ckpt.State
 	if job.Boot != "" {
@@ -238,17 +295,45 @@ func (w *Worker) Run() error {
 	// so these cuts are valid restore points no matter which engine (or
 	// which attempt) later boots from them. Inbound batches arriving
 	// during this phase park in the seam's pending buffers.
+	var ckptFullBytes, ckptDeltaBytes, ckptFulls, ckptDeltas uint64
 	if job.CheckpointEvery > 0 && job.CheckpointDir != "" {
 		if err := os.MkdirAll(job.CheckpointDir, 0o755); err != nil {
 			return w.sendError(err)
 		}
+		// In delta mode the first boundary of each attempt is a full
+		// snapshot and every later one a delta chained to its sealed
+		// predecessor. A delta's base is always the boundary one interval
+		// earlier on the deterministic trajectory, so delta files — like
+		// full ones — are attempt-independent and safely overwrite stale
+		// copies from torn-down attempts.
+		var last *ckpt.State
 		_, err := seq.Run(c, stim, circuit.Tick(job.Until), seq.Config{
 			System:          sys,
 			MaxEvents:       job.MaxEvents,
 			CheckpointEvery: circuit.Tick(job.CheckpointEvery),
 			Checkpoint: func(st *ckpt.State) error {
-				path := filepath.Join(job.CheckpointDir, shardCkptName(job.Shard, st.Time))
-				return ckpt.WriteFile(path, restrictToShard(st, owned))
+				cur := restrictToShard(st, owned)
+				if !job.CkptDelta || last == nil {
+					path := filepath.Join(job.CheckpointDir, shardCkptName(job.Shard, cur.Time))
+					if err := ckpt.WriteFile(path, cur); err != nil {
+						return err
+					}
+					ckptFullBytes += fileSize(path)
+					ckptFulls++
+				} else {
+					d, err := ckpt.DeltaFrom(last, cur)
+					if err != nil {
+						return err
+					}
+					path := filepath.Join(job.CheckpointDir, shardDeltaName(job.Shard, cur.Time))
+					if err := ckpt.WriteDeltaFile(path, d); err != nil {
+						return err
+					}
+					ckptDeltaBytes += fileSize(path)
+					ckptDeltas++
+				}
+				last = cur
+				return nil
 			},
 			Boot: boot,
 		})
@@ -278,12 +363,17 @@ func (w *Worker) Run() error {
 		}
 	}
 	res := shardResult{
-		Shard:    job.Shard,
-		Values:   out.values,
-		Waveform: samples,
-		EndTime:  uint64(out.endTime),
-		Events:   out.events,
-		GVT:      uint64(out.gvt),
+		Shard:          job.Shard,
+		Values:         out.values,
+		Waveform:       samples,
+		EndTime:        uint64(out.endTime),
+		Events:         out.events,
+		GVT:            uint64(out.gvt),
+		MeshBytes:      seam.MeshBytes(),
+		CkptFullBytes:  ckptFullBytes,
+		CkptDeltaBytes: ckptDeltaBytes,
+		CkptFulls:      ckptFulls,
+		CkptDeltas:     ckptDeltas,
 	}
 	rp, err := json.Marshal(&res)
 	if err != nil {

@@ -1,0 +1,230 @@
+// Incremental (delta) checkpoints. A Delta records only what changed
+// between two consecutive sealed boundary snapshots of the same run:
+// the gates whose value planes moved, the full replacement pending-event
+// set (small by construction), and the waveform suffix recorded after
+// the base boundary. Deltas are fingerprint-chained: each one names the
+// payload checksum of the exact predecessor state it applies to, so a
+// replayed chain either reconstructs the full snapshot byte-for-byte or
+// fails with a structured ErrCorrupt — never a silently wrong restore.
+//
+// The trajectory of every engine in this repository is deterministic,
+// so a delta's content depends only on (workload, base boundary,
+// boundary), never on which run attempt wrote it — the same property
+// the full per-shard snapshots rely on for merge-safety across fleet
+// restarts.
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// DeltaVersion is the delta-record format identifier. Bump on any
+// incompatible schema change.
+const DeltaVersion = "parsim-ckpt-delta/v1"
+
+// DeltaEntry is one changed gate: the three kernel value-plane entries
+// at the new boundary.
+type DeltaEntry struct {
+	Gate      circuit.GateID `json:"g"`
+	Val       logic.Value    `json:"v"`
+	PrevClk   logic.Value    `json:"p"`
+	Projected logic.Value    `json:"j"`
+}
+
+// Delta is one incremental checkpoint record: everything needed to roll
+// a sealed base state at BaseTime forward to Time.
+type Delta struct {
+	Version     string `json:"version"`
+	Fingerprint string `json:"circuit"`
+	// Time is the new boundary; BaseTime is the predecessor boundary the
+	// delta applies to.
+	Time     uint64 `json:"time"`
+	BaseTime uint64 `json:"base_time"`
+	// BaseSum is the payload checksum of the exact predecessor state —
+	// the chain link. Apply refuses a base whose Sum differs.
+	BaseSum string `json:"base_sum"`
+	Until   uint64 `json:"until"`
+	System  uint8  `json:"system"`
+	EndTime uint64 `json:"end_time"`
+
+	// Changed lists the gates whose value planes differ from the base.
+	Changed []DeltaEntry `json:"changed"`
+	// Events replaces the base's pending-event set outright.
+	Events []Event `json:"events"`
+	// Waveform is the sample suffix recorded after the base boundary.
+	Waveform []Sample `json:"waveform"`
+
+	// Sum is the fnv64a checksum over the fields above, same scheme as
+	// State.Sum.
+	Sum string `json:"sum,omitempty"`
+}
+
+// sum computes the delta's own payload checksum.
+func (d *Delta) sum() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s %s %d %d %s %d %d %d\n",
+		d.Version, d.Fingerprint, d.Time, d.BaseTime, d.BaseSum, d.Until, d.System, d.EndTime)
+	for _, e := range d.Changed {
+		fmt.Fprintf(h, "c %d %d %d %d\n", e.Gate, e.Val, e.PrevClk, e.Projected)
+	}
+	for _, ev := range d.Events {
+		fmt.Fprintf(h, "e %d %d %d\n", ev.Time, ev.Gate, ev.Value)
+	}
+	for _, sm := range d.Waveform {
+		fmt.Fprintf(h, "w %d %d %d\n", sm.Time, sm.Gate, sm.Value)
+	}
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+// Seal fills in the delta's checksum; WriteDelta calls it automatically.
+func (d *Delta) Seal() { d.Sum = d.sum() }
+
+// Verify checks the delta's checksum, wrapping ErrCorrupt on mismatch.
+func (d *Delta) Verify() error {
+	if d.Sum == "" {
+		return nil
+	}
+	if got := d.sum(); got != d.Sum {
+		return fmt.Errorf("%w: delta checksum %s, recorded %s (bit flip?)", ErrCorrupt, got, d.Sum)
+	}
+	return nil
+}
+
+// DeltaFrom diffs two consecutive sealed boundary states of one run
+// into a delta record. base must be the sealed state at the previous
+// boundary of the same trajectory: cur's waveform extends base's, and
+// cur's planes are the base's with the changed gates overwritten.
+func DeltaFrom(base, cur *State) (*Delta, error) {
+	if base.Fingerprint != cur.Fingerprint || base.System != cur.System {
+		return nil, fmt.Errorf("ckpt: delta across different workloads (fp %s vs %s, sys %d vs %d)",
+			base.Fingerprint, cur.Fingerprint, base.System, cur.System)
+	}
+	if base.Time >= cur.Time {
+		return nil, fmt.Errorf("ckpt: delta base t=%d not before boundary t=%d", base.Time, cur.Time)
+	}
+	if base.Sum == "" {
+		return nil, fmt.Errorf("ckpt: delta base at t=%d is unsealed", base.Time)
+	}
+	if len(base.Vals) != len(cur.Vals) ||
+		len(base.Waveform) > len(cur.Waveform) {
+		return nil, fmt.Errorf("ckpt: delta base does not prefix the boundary state")
+	}
+	d := &Delta{
+		Version: DeltaVersion, Fingerprint: cur.Fingerprint,
+		Time: cur.Time, BaseTime: base.Time, BaseSum: base.Sum,
+		Until: cur.Until, System: cur.System, EndTime: cur.EndTime,
+		Events:   cur.Events,
+		Waveform: cur.Waveform[len(base.Waveform):],
+	}
+	for g := range cur.Vals {
+		if cur.Vals[g] != base.Vals[g] || cur.PrevClk[g] != base.PrevClk[g] ||
+			cur.Projected[g] != base.Projected[g] {
+			d.Changed = append(d.Changed, DeltaEntry{
+				Gate: circuit.GateID(g), Val: cur.Vals[g],
+				PrevClk: cur.PrevClk[g], Projected: cur.Projected[g],
+			})
+		}
+	}
+	d.Seal()
+	return d, nil
+}
+
+// Apply rolls a sealed base state forward through the delta, verifying
+// the chain link first: the base's checksum must equal the recorded
+// BaseSum, or the chain is broken and the result untrustworthy. The
+// returned state is sealed and byte-identical to the full snapshot the
+// producing run would have written at the delta's boundary.
+func (d *Delta) Apply(base *State) (*State, error) {
+	if err := d.Verify(); err != nil {
+		return nil, err
+	}
+	if base.Sum == "" || base.Sum != d.BaseSum {
+		return nil, fmt.Errorf("%w: delta at t=%d chains to base %s, have %s (broken chain)",
+			ErrCorrupt, d.Time, d.BaseSum, base.Sum)
+	}
+	if base.Time != d.BaseTime || base.Fingerprint != d.Fingerprint {
+		return nil, fmt.Errorf("%w: delta at t=%d applies to base t=%d fp %s, have t=%d fp %s",
+			ErrCorrupt, d.Time, d.BaseTime, d.Fingerprint, base.Time, base.Fingerprint)
+	}
+	out := &State{
+		Version: base.Version, Fingerprint: base.Fingerprint,
+		Time: d.Time, Until: d.Until, System: d.System, EndTime: d.EndTime,
+		Vals:      append([]logic.Value(nil), base.Vals...),
+		PrevClk:   append([]logic.Value(nil), base.PrevClk...),
+		Projected: append([]logic.Value(nil), base.Projected...),
+		Events:    d.Events,
+	}
+	n := len(out.Vals)
+	for _, e := range d.Changed {
+		if int(e.Gate) < 0 || int(e.Gate) >= n {
+			return nil, fmt.Errorf("%w: delta changes gate %d outside circuit", ErrCorrupt, e.Gate)
+		}
+		out.Vals[e.Gate] = e.Val
+		out.PrevClk[e.Gate] = e.PrevClk
+		out.Projected[e.Gate] = e.Projected
+	}
+	out.Waveform = make([]Sample, 0, len(base.Waveform)+len(d.Waveform))
+	out.Waveform = append(out.Waveform, base.Waveform...)
+	out.Waveform = append(out.Waveform, d.Waveform...)
+	out.Seal()
+	return out, nil
+}
+
+// WriteDelta serializes the delta as JSON, sealing it first.
+func WriteDelta(w io.Writer, d *Delta) error {
+	d.Seal()
+	return json.NewEncoder(w).Encode(d)
+}
+
+// ReadDelta deserializes, version-checks, and checksum-verifies a
+// delta record; truncation and bit flips surface as ErrCorrupt.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	var d Delta
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("%w: delta decode: %v", ErrCorrupt, err)
+	}
+	if d.Version != DeltaVersion {
+		return nil, fmt.Errorf("ckpt: delta version %q, want %q", d.Version, DeltaVersion)
+	}
+	if err := d.Verify(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// WriteDeltaFile atomically writes the delta to path (write temp,
+// rename), mirroring WriteFile.
+func WriteDeltaFile(path string, d *Delta) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteDelta(f, d); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadDeltaFile loads a delta record from path.
+func ReadDeltaFile(path string) (*Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDelta(f)
+}

@@ -22,7 +22,8 @@ func TestWatchdogReportCarriesTransportState(t *testing.T) {
 		Transport: func() []TransportState {
 			return []TransportState{
 				{Shard: 0, Connected: true, LastHeartbeatMs: 12, UnackedBatches: 0, Reconnects: 1},
-				{Shard: 1, Connected: false, LastHeartbeatMs: 950, UnackedBatches: 7, Reconnects: 3},
+				{Shard: 1, Connected: false, LastHeartbeatMs: 950, UnackedBatches: 7, Reconnects: 3,
+						Frames: 4096, Retransmits: 12, DupsDropped: 5},
 			}
 		},
 		OnHang: func(err error) { got.Store(err) },
@@ -55,5 +56,16 @@ func TestWatchdogReportCarriesTransportState(t *testing.T) {
 	dead := decoded.Transport[1]
 	if dead.Shard != 1 || dead.Connected || dead.LastHeartbeatMs != 950 || dead.UnackedBatches != 7 || dead.Reconnects != 3 {
 		t.Errorf("dead-link entry wrong: %+v", dead)
+	}
+	// Per-link traffic stats must survive the JSON round trip under
+	// their wire names, so a hang report distinguishes a link that never
+	// carried traffic from one that degraded mid-run.
+	if dead.Frames != 4096 || dead.Retransmits != 12 || dead.DupsDropped != 5 {
+		t.Errorf("link stats wrong after round trip: %+v", dead)
+	}
+	for _, field := range []string{`"frames":4096`, `"retransmits":12`, `"dups_dropped":5`} {
+		if !strings.Contains(msg[idx:], field) {
+			t.Errorf("report JSON missing %s", field)
+		}
 	}
 }

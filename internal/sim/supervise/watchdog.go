@@ -162,6 +162,16 @@ type TransportState struct {
 	UnackedBatches int `json:"unacked_batches"`
 	// Reconnects counts completed reconnections on this link.
 	Reconnects uint64 `json:"reconnects"`
+	// Frames counts sequenced frames delivered in order on this link;
+	// under a mesh topology a partitioned peer link shows up as a Frames
+	// counter that stops advancing while others keep climbing.
+	Frames uint64 `json:"frames"`
+	// Retransmits counts sequenced frames written more than once
+	// (reconnect replays); a climbing count flags a flapping link.
+	Retransmits uint64 `json:"retransmits"`
+	// DupsDropped counts duplicate sequenced frames absorbed by the
+	// receive-side dedup.
+	DupsDropped uint64 `json:"dups_dropped"`
 }
 
 // HangReport is the machine-readable diagnostic the watchdog emits when

@@ -82,6 +82,11 @@ type Fault struct {
 	// recur forever or recovery could never complete); -1 applies on
 	// every attempt.
 	Attempt int
+	// Peer targets a mesh link instead of the shard's hub link: 0 (the
+	// zero value, so every pre-mesh plan is unchanged) perturbs the hub
+	// link, k > 0 perturbs the shard's direct link to shard k-1. Ignored
+	// on non-mesh runs and meaningless for kills.
+	Peer int
 }
 
 // String renders the fault compactly and deterministically.
@@ -90,11 +95,15 @@ func (f Fault) String() string {
 	if f.Attempt >= 0 {
 		at = fmt.Sprintf("%d", f.Attempt)
 	}
+	link := fmt.Sprintf("shard%d", f.Shard)
+	if f.Peer > 0 {
+		link = fmt.Sprintf("shard%d~%d", f.Shard, f.Peer-1)
+	}
 	switch f.Op {
 	case OpStall, OpPartition:
-		return fmt.Sprintf("%s(shard%d after %d frames, %dms, attempt %s)", f.Op, f.Shard, f.AfterFrames, f.Ms, at)
+		return fmt.Sprintf("%s(%s after %d frames, %dms, attempt %s)", f.Op, link, f.AfterFrames, f.Ms, at)
 	default:
-		return fmt.Sprintf("%s(shard%d after %d frames, attempt %s)", f.Op, f.Shard, f.AfterFrames, at)
+		return fmt.Sprintf("%s(%s after %d frames, attempt %s)", f.Op, link, f.AfterFrames, at)
 	}
 }
 
@@ -147,6 +156,38 @@ func NewPlan(seed uint64, shards, faults int, allowKill bool) Plan {
 			kills++
 		}
 		plan = append(plan, f)
+	}
+	return plan
+}
+
+// NewMeshPlan derives a fault plan for a mesh-topology run: the same
+// faults NewPlan(seed, shards, faults, allowKill) yields — so every
+// existing seed keeps its meaning — with roughly half of the non-kill
+// faults retargeted from the shard's hub link to one of its mesh links,
+// using an independent deterministic stream so the retargeting never
+// perturbs the base plan. Like the base plan it is a pure function of
+// its arguments, so a failing run replays and ddmin-shrinks from the
+// integers in its repro line.
+func NewMeshPlan(seed uint64, shards, faults int, allowKill bool) Plan {
+	plan := NewPlan(seed, shards, faults, allowKill)
+	if shards < 2 {
+		return plan
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	for i := range plan {
+		f := &plan[i]
+		if f.Op == OpKill {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			continue
+		}
+		// Pick a peer shard distinct from the fault's own shard.
+		p := rng.IntN(shards - 1)
+		if p >= f.Shard {
+			p++
+		}
+		f.Peer = p + 1
 	}
 	return plan
 }
